@@ -1,0 +1,69 @@
+"""FIG1 — Figure 1 reproduction: tgd (2) deploys as an ETL flow.
+
+The paper's Figure 1 shows the flow generated for
+
+    PQR(q, r, p) AND RGDPPC(q, r, g) -> RGDP(q, r, p * g)
+
+as: two data-source steps feeding a merge step, a calculation step, and
+an output step.  The benchmark checks the generated topology matches
+the figure exactly and measures flow generation + execution cost.
+"""
+
+import pytest
+
+from repro.backends import EtlBackend, flow_metadata_for_tgd
+from repro.etl import RowStore, flow_from_metadata
+
+
+def _figure1_metadata(mapping):
+    return flow_metadata_for_tgd(mapping.tgd_for("RGDP"), mapping)
+
+
+def test_fig1_topology_matches_paper(gdp_medium):
+    _workload, _program, mapping = gdp_medium
+    metadata = _figure1_metadata(mapping)
+    core_types = [
+        s["type"]
+        for s in metadata["steps"]
+        if not s["name"].startswith("rename")
+    ]
+    # Figure 1: TableInput x2 -> MergeJoin -> Calculator -> TableOutput
+    assert core_types == [
+        "TableInput",
+        "TableInput",
+        "MergeJoin",
+        "Calculator",
+        "TableOutput",
+    ]
+    merge = next(s for s in metadata["steps"] if s["type"] == "MergeJoin")
+    assert merge["keys"] == ["q", "r"]  # joined on the dimensions
+    calc = next(s for s in metadata["steps"] if s["type"] == "Calculator")
+    assert "*" in calc["formula"]  # measures combined with the product
+
+
+def test_fig1_flow_generation(benchmark, gdp_medium):
+    """Cost of generating the Figure 1 flow from the tgd (metadata path)."""
+    _workload, _program, mapping = gdp_medium
+    tgd = mapping.tgd_for("RGDP")
+    metadata = benchmark(flow_metadata_for_tgd, tgd, mapping)
+    assert metadata["steps"]
+
+
+def test_fig1_flow_execution(benchmark, gdp_medium, backends):
+    """Cost of executing the Figure 1 flow on the streaming engine."""
+    workload, _program, mapping = gdp_medium
+    etl = backends["etl"]
+    # compute PQR first so the flow's inputs exist
+    upstream = etl.run_mapping(mapping, workload.data, wanted=["PQR"])
+    metadata = _figure1_metadata(mapping)
+
+    def run():
+        store = RowStore()
+        store.load_cube(upstream["PQR"])
+        store.load_cube(workload.data["RGDPPC"])
+        flow = flow_from_metadata(metadata, mapping.registry)
+        flow.run(store)
+        return store
+
+    store = benchmark(run)
+    assert len(store.rows("RGDP")) == len(upstream["PQR"])

@@ -1,0 +1,101 @@
+"""EXP-VIEWS — materialized intermediates vs. virtual views (Section 6).
+
+The paper remarks that "it is not necessary that all the intermediate
+steps are stored back into the system", and that the approach "can be
+easily reformulated in terms of creation of relational views".  This
+bench runs the same tgd chain twice on the SQL engine:
+
+* materialized: every tgd is an INSERT into a real table (the default);
+* virtual: intermediate cubes become CREATE VIEW definitions, expanded
+  on reference, and only the final cube is materialized.
+
+Shape expectation: for a linear chain consumed once, the two are within
+a small factor; views save the intermediate storage (asserted on table
+row counts) at the price of re-expansion.
+"""
+
+import pytest
+
+from repro.backends import SqlBackend
+from repro.exl import Program
+from repro.mappings import generate_mapping
+from repro.model import CubeSchema, Dimension, Frequency, Schema, TIME, month
+from repro.sqlengine import Column, Database, SqlType
+from repro.workloads.datagen import random_cube
+
+DEPTH = 6
+N = 2000
+
+
+def _workload():
+    schema = CubeSchema("E", [Dimension("m", TIME(Frequency.MONTH))], "v")
+    domains = {"m": [month(1900, 1) + i for i in range(N)]}
+    data = {"E": random_cube(schema, domains, seed=6)}
+    lines = ["C1 := E * 2"]
+    for i in range(2, DEPTH + 1):
+        lines.append(f"C{i} := C{i - 1} + E")
+    return Schema([schema]), "\n".join(lines), data
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema, source, data = _workload()
+    mapping = generate_mapping(Program.compile(source, schema))
+    return schema, mapping, data
+
+
+def _materialized_run(mapping, data):
+    backend = SqlBackend()
+    return backend.run_mapping(mapping, data, wanted=[f"C{DEPTH}"])
+
+
+def _view_run(mapping, data):
+    """Intermediates as views; only the final cube is a real table."""
+    backend = SqlBackend()
+    final = f"C{DEPTH}"
+    db = Database()
+    # real tables for elementary inputs and the final product only
+    for name in ("E", final):
+        cube_schema = mapping.target[name]
+        db.create_table(
+            name,
+            [Column(d.name, SqlType.TIME) for d in cube_schema.dimensions]
+            + [Column(cube_schema.measure, SqlType.REAL)],
+        )
+    db.table("E").insert_many(data["E"].to_rows())
+    for tgd in mapping.target_tgds:
+        sql = backend.sql_for(tgd, mapping)
+        insert_prefix, select = sql.split("\n", 1)
+        if tgd.target_relation == final:
+            db.execute_script(sql)
+        else:
+            db.execute(f"CREATE VIEW {tgd.target_relation} AS {select.rstrip(';')}")
+    from repro.model import Cube
+
+    return Cube.from_rows(mapping.target[final], db.table(final).rows), db
+
+
+def test_view_and_materialized_agree(setup):
+    _schema, mapping, data = setup
+    materialized = _materialized_run(mapping, data)[f"C{DEPTH}"]
+    virtual, _db = _view_run(mapping, data)
+    assert materialized.approx_equals(virtual, rel_tol=1e-9)
+
+
+def test_views_store_no_intermediate_rows(setup):
+    _schema, mapping, data = setup
+    _virtual, db = _view_run(mapping, data)
+    # only E and the final table hold rows; everything else is virtual
+    assert sorted(db.table_names()) == ["C%d" % DEPTH, "E"]
+
+
+def test_materialized_chain(benchmark, setup):
+    _schema, mapping, data = setup
+    result = benchmark(_materialized_run, mapping, data)
+    assert len(result[f"C{DEPTH}"]) == N
+
+
+def test_virtual_chain(benchmark, setup):
+    _schema, mapping, data = setup
+    result, _db = benchmark(_view_run, mapping, data)
+    assert len(result) == N

@@ -1,0 +1,105 @@
+"""EXP-OPS — operator cost profile (Section 3's taxonomy).
+
+Tuple-level operators cost O(1) per tuple; multi-tuple operators read
+sets of tuples (aggregations) or whole cubes (black boxes).  The micro
+benches record the per-class profile on the chase executor, plus the
+raw statistical kernels.
+"""
+
+import pytest
+
+from repro.chase import StratifiedChase, instance_from_cubes
+from repro.exl import Program
+from repro.mappings import generate_mapping
+from repro.model import CubeSchema, Dimension, Frequency, Schema, TIME, STRING, month
+from repro.stats import loess, stl_decompose
+from repro.workloads.datagen import random_cube, seasonal_series
+
+N_PERIODS = 480
+N_REGIONS = 4
+
+
+@pytest.fixture(scope="module")
+def panel():
+    schema = CubeSchema(
+        "A", [Dimension("m", TIME(Frequency.MONTH)), Dimension("r", STRING)], "v"
+    )
+    domains = {
+        "m": [month(1990, 1) + i for i in range(N_PERIODS)],
+        "r": [f"r{i}" for i in range(N_REGIONS)],
+    }
+    return Schema([schema]), {"A": random_cube(schema, domains, seed=9)}
+
+
+@pytest.fixture(scope="module")
+def series():
+    schema = CubeSchema("A", [Dimension("m", TIME(Frequency.MONTH))], "v")
+    domains = {"m": [month(1990, 1) + i for i in range(N_PERIODS)]}
+    return Schema([schema]), {"A": random_cube(schema, domains, seed=10)}
+
+
+def _chase(source, schema, data):
+    mapping = generate_mapping(Program.compile(source, schema))
+    return StratifiedChase(mapping).run(instance_from_cubes(data))
+
+
+OPERATOR_CASES = [
+    ("scalar_mult", "C := A * 3"),
+    ("scalar_ln", "C := ln(A)"),
+    ("vectorial_sum", "C := A + A"),
+    ("shift", "C := shift(A, 1)"),
+    ("agg_sum_by_time", "C := sum(A, group by m)"),
+    ("agg_median_by_region", "C := median(A, group by r)"),
+    ("freq_conversion", "C := avg(A, group by quarter(m) as q, r)"),
+]
+
+
+@pytest.mark.parametrize("label, source", OPERATOR_CASES, ids=[c[0] for c in OPERATOR_CASES])
+def test_panel_operator_cost(benchmark, panel, label, source):
+    schema, data = panel
+    result = benchmark(_chase, source, schema, data)
+    assert result.stats.tuples_generated > 0
+
+
+SERIES_CASES = [
+    ("tf_cumsum", "C := cumsum(A)"),
+    ("tf_ma", "C := ma(A, 12)"),
+    ("tf_fitted", "C := fitted(A)"),
+    ("tf_stl_trend", "C := stl_t(A)"),
+]
+
+
+@pytest.mark.parametrize("label, source", SERIES_CASES, ids=[c[0] for c in SERIES_CASES])
+def test_series_operator_cost(benchmark, series, label, source):
+    schema, data = series
+    result = benchmark(_chase, source, schema, data)
+    assert result.stats.tuples_generated > 0
+
+
+def test_kernel_stl(benchmark):
+    values = seasonal_series(N_PERIODS, period=12, seed=3)
+    decomposition = benchmark(stl_decompose, values, 12)
+    assert len(decomposition.trend) == N_PERIODS
+
+
+def test_kernel_loess(benchmark):
+    values = seasonal_series(N_PERIODS, period=12, seed=4)
+    smoothed = benchmark(loess, values, 0.3)
+    assert len(smoothed) == N_PERIODS
+
+
+def test_multituple_costs_more_than_tuple_level(panel):
+    """The taxonomy's cost ordering: black boxes > aggregations ≳ scalars."""
+    import time
+
+    schema, data = panel
+
+    def timed(source):
+        start = time.perf_counter()
+        _chase(source, schema, data)
+        return time.perf_counter() - start
+
+    scalar = min(timed("C := A * 3") for _ in range(3))
+    aggregation = min(timed("C := sum(A, group by m)") for _ in range(3))
+    # both touch every tuple once; aggregation should be the same order
+    assert aggregation < scalar * 10

@@ -1,0 +1,90 @@
+"""EXP-TRANS — translation engine cost and caching (Section 6).
+
+Translation (EXL -> mapping -> target code) is claimed to be decoupled
+from calculation: it depends on program size, not data size, and is
+cached across runs.  We sweep program length and data size.
+"""
+
+import pytest
+
+from repro.engine import DependencyGraph, Subgraph, TranslationEngine
+from repro.exl import Program
+from repro.mappings import generate_mapping, simplify_mapping
+from repro.model import CubeSchema, Dimension, Frequency, MetadataCatalog, Schema, TIME
+
+
+def _series(name):
+    return CubeSchema(name, [Dimension("q", TIME(Frequency.QUARTER))], "v")
+
+
+def _chain_source(depth: int) -> str:
+    lines = ["C1 := E * 2"]
+    for i in range(2, depth + 1):
+        lines.append(f"C{i} := C{i - 1} + E")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("depth", (4, 16, 64))
+def test_mapping_generation_scales_with_program(benchmark, depth):
+    schema = Schema([_series("E")])
+    program = Program.compile(_chain_source(depth), schema)
+    mapping = benchmark(generate_mapping, program)
+    assert len(mapping.target_tgds) == depth
+
+
+@pytest.mark.parametrize("depth", (16, 64))
+def test_simplification_cost(benchmark, depth):
+    schema = Schema([_series("E")])
+    mapping = generate_mapping(Program.compile(_chain_source(depth), schema))
+    simplified = benchmark(simplify_mapping, mapping)
+    assert len(simplified.target_tgds) <= len(mapping.target_tgds)
+
+
+@pytest.mark.parametrize("target", ("sql", "r", "matlab", "etl"))
+def test_per_target_compile_cost(benchmark, target):
+    catalog = MetadataCatalog()
+    catalog.declare_elementary(_series("E"))
+    for i, line in enumerate(_chain_source(12).splitlines(), start=1):
+        catalog.declare_derived(_series(f"C{i}"), line)
+    graph = DependencyGraph(catalog)
+    cubes = tuple(graph.topological_order())
+
+    def compile_subgraph():
+        translator = TranslationEngine(catalog, graph)  # cold cache
+        return translator.translate(Subgraph(cubes, target))
+
+    translated = benchmark(compile_subgraph)
+    assert len(translated.units) == 12
+
+
+def test_translation_cache_hit_is_free():
+    import time
+
+    catalog = MetadataCatalog()
+    catalog.declare_elementary(_series("E"))
+    for i, line in enumerate(_chain_source(30).splitlines(), start=1):
+        catalog.declare_derived(_series(f"C{i}"), line)
+    graph = DependencyGraph(catalog)
+    translator = TranslationEngine(catalog, graph)
+    subgraph = Subgraph(tuple(graph.topological_order()), "sql")
+
+    start = time.perf_counter()
+    translator.translate(subgraph)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    translator.translate(subgraph)
+    warm = time.perf_counter() - start
+    assert warm < cold / 10, (cold, warm)
+
+
+def test_translation_independent_of_data_size():
+    """Translation never touches cube data, only metadata."""
+    schema = Schema([_series("E")])
+    program = Program.compile(_chain_source(20), schema)
+    import time
+
+    start = time.perf_counter()
+    generate_mapping(program)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 1.0

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark corresponds to an experiment id in DESIGN.md §3 and
+EXPERIMENTS.md.  The paper reports no absolute numbers, so each bench
+asserts the *shape* claims (who wins, what scales how) and records the
+measured values via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import all_backends
+from repro.exl import Program
+from repro.mappings import generate_mapping, simplify_mapping
+from repro.workloads import gdp_example
+
+
+@pytest.fixture(scope="session")
+def backends():
+    return all_backends()
+
+
+def gdp_setup(n_quarters: int = 12, regions=("north", "centre", "south"), seed: int = 7):
+    """Workload + compiled program + mapping for the paper's example."""
+    workload = gdp_example(n_quarters=n_quarters, regions=regions, seed=seed)
+    program = Program.compile(workload.source, workload.schema)
+    mapping = generate_mapping(program)
+    return workload, program, mapping
+
+
+@pytest.fixture(scope="session")
+def gdp_small():
+    return gdp_setup(n_quarters=8, regions=("north", "south"))
+
+
+@pytest.fixture(scope="session")
+def gdp_medium():
+    return gdp_setup(n_quarters=20)
+
+
+@pytest.fixture(scope="session")
+def gdp_large():
+    return gdp_setup(n_quarters=40, regions=("north", "centre", "south", "islands"))

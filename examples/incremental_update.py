@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Incremental statistical production with historicity (Section 6).
+
+Simulates a production cycle at a statistical department: monthly
+employment figures arrive, the determination engine recomputes only
+the affected part of the cube DAG, and every past state remains
+queryable through the versioned store.
+
+    python examples/incremental_update.py
+"""
+
+from repro import EXLEngine
+from repro.model import Cube, month
+from repro.workloads import employment_example
+
+
+def main() -> None:
+    workload = employment_example(n_months=48, seed=23)
+    engine = EXLEngine()
+    for name in workload.schema.names:
+        engine.declare_elementary(workload.schema[name])
+    engine.add_program(workload.source, preferred_targets={"URATE_T": "r"})
+    for cube in workload.data.values():
+        engine.load(cube)
+
+    print("=== Initial production run ===")
+    record = engine.run()
+    print(record.summary())
+    urate_v1 = engine.data("URATE")
+    version_v1 = engine.catalog.store.latest_version("URATE")
+
+    # A revision arrives: the last 6 months of employment are corrected
+    # upward by 1%.  Only EMP changed, so LF_N and its descendants that
+    # do not depend on EMP are untouched.
+    print("\n=== Revision: employment corrected for the last 6 months ===")
+    revised = workload.data["EMP"].copy()
+    last_months = sorted({k[0] for k in revised.keys()})[-6:]
+    for key in list(revised.keys()):
+        if key[0] in last_months:
+            revised.set(key, revised[key] * 1.01, overwrite=True)
+    engine.load(revised)
+    record = engine.run()
+    print(record.summary())
+    print("  (note: LF_N is not recomputed — it does not depend on EMP)")
+
+    # Historicity: both vintages of the unemployment rate remain available.
+    print("\n=== Vintage comparison (last 4 months) ===")
+    urate_v2 = engine.data("URATE")
+    points, _ = urate_v2.to_series()
+    print(f"  {'month':10s} {'first release':>14s} {'revised':>10s}")
+    for point in points[-4:]:
+        first = urate_v1[(point,)]
+        second = urate_v2[(point,)]
+        print(f"  {str(point):10s} {first:14.3f} {second:10.3f}")
+
+    historical = engine.data("URATE", version_v1)
+    assert historical.approx_equals(urate_v1)
+    print("\n  historical version", version_v1, "reproduces the first release exactly")
+
+
+if __name__ == "__main__":
+    main()

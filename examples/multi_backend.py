@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Executable translations: one tgd, four target systems (Section 5).
+
+Shows the generated SQL, R, Matlab and ETL forms of the paper's tgds,
+then runs the whole GDP program on every backend and verifies all five
+executors (including the chase) produce the identical solution — the
+paper's correctness theorem, observed live.
+
+    python examples/multi_backend.py
+"""
+
+from repro import Program, all_backends, generate_mapping
+from repro.backends import flow_metadata_for_tgd
+from repro.workloads import gdp_example
+import json
+
+
+def show_translations(mapping) -> None:
+    sql = all_backends()["sql"]
+    r = all_backends()["r"]
+    matlab = all_backends()["matlab"]
+
+    tgd2 = mapping.tgd_for("RGDP")
+    print("=== tgd (2):", tgd2, "===\n")
+    print("--- SQL ---")
+    print(sql.compile_tgd(tgd2, mapping).text)
+    print("\n--- R ---")
+    print(r.compile_tgd(tgd2, mapping).text)
+    print("\n--- Matlab ---")
+    print(matlab.compile_tgd(tgd2, mapping).text)
+    print("\n--- ETL flow metadata (Figure 1) ---")
+    metadata = flow_metadata_for_tgd(tgd2, mapping)
+    for step in metadata["steps"]:
+        print("  step:", step["type"], step["name"])
+    for hop in metadata["hops"]:
+        print("  hop:", hop["from"], "->", hop["to"])
+
+    tgd4 = mapping.tgd_for("GDPT")
+    print("\n=== tgd (4):", tgd4, "===\n")
+    print("--- SQL (tabular function) ---")
+    print(sql.compile_tgd(tgd4, mapping).text)
+    print("\n--- R (stl) ---")
+    print(r.compile_tgd(tgd4, mapping).text)
+    print("\n--- Matlab (isolateTrend) ---")
+    print(matlab.compile_tgd(tgd4, mapping).text)
+
+
+def run_everywhere(mapping, workload) -> None:
+    print("\n=== Running the full program on every target system ===")
+    backends = all_backends()
+    results = {}
+    for name, backend in backends.items():
+        results[name] = backend.run_mapping(mapping, workload.data)
+        pchng = results[name]["PCHNG"]
+        print(f"  {name:7s}: PCHNG has {len(pchng)} tuples")
+    reference = results["chase"]
+    for name, cubes in results.items():
+        agree = all(
+            reference[cube_name].approx_equals(cubes[cube_name], rel_tol=1e-8)
+            for cube_name in reference
+        )
+        print(f"  {name:7s}: {'IDENTICAL to the chase solution' if agree else 'MISMATCH!'}")
+
+
+def main() -> None:
+    workload = gdp_example(n_quarters=12, seed=11)
+    program = Program.compile(workload.source, workload.schema)
+    mapping = generate_mapping(program)
+    show_translations(mapping)
+    run_everywhere(mapping, workload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Backends: executable translations of schema mappings (Section 5).
+
+One :class:`Backend` per target system — SQL (mini relational engine),
+R (frame engine), Matlab (matrix engine), ETL (flow engine) — plus the
+chase reference executor.  :func:`all_backends` returns one instance of
+each, keyed by technical-metadata name.
+"""
+
+from typing import Dict
+
+from .base import Backend, CompiledTgd
+from .chasebackend import ChaseBackend
+from .etlbackend import EtlBackend, flow_metadata_for_tgd
+from .ir import (
+    BinExpr,
+    CallExpr,
+    ColExpr,
+    ColRef,
+    ComputeOp,
+    ConstExpr,
+    DropOp,
+    GroupAggOp,
+    IrProgram,
+    LoadOp,
+    MergeOp,
+    RenameOp,
+    StoreOp,
+    TableFuncOp,
+)
+from .ircompile import compile_tgd_to_ir
+from .irexec import FrameIrExecutor, MatrixIrExecutor, eval_colexpr
+from .matlab import MatlabBackend, MScriptBackend, render_matlab
+from .rlang import RBackend, RScriptBackend, render_r
+from .sql import SqlBackend
+
+
+def all_backends() -> Dict[str, Backend]:
+    """One instance of every backend, keyed by name."""
+    backends = [
+        SqlBackend(),
+        RBackend(),
+        RScriptBackend(),
+        MatlabBackend(),
+        MScriptBackend(),
+        EtlBackend(),
+        ChaseBackend(),
+    ]
+    return {b.name: b for b in backends}
+
+
+__all__ = [
+    "Backend",
+    "CompiledTgd",
+    "SqlBackend",
+    "RBackend",
+    "RScriptBackend",
+    "MatlabBackend",
+    "MScriptBackend",
+    "EtlBackend",
+    "ChaseBackend",
+    "all_backends",
+    "flow_metadata_for_tgd",
+    "compile_tgd_to_ir",
+    "render_r",
+    "render_matlab",
+    "FrameIrExecutor",
+    "MatrixIrExecutor",
+    "eval_colexpr",
+    "IrProgram",
+    "LoadOp",
+    "MergeOp",
+    "ComputeOp",
+    "DropOp",
+    "RenameOp",
+    "GroupAggOp",
+    "TableFuncOp",
+    "StoreOp",
+    "ColExpr",
+    "ColRef",
+    "ConstExpr",
+    "BinExpr",
+    "CallExpr",
+]

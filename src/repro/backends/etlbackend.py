@@ -1,0 +1,233 @@
+"""The ETL backend (Section 5.3).
+
+For every tgd an ETL flow is generated: data-source steps per lhs atom,
+a merge step joining streams on dimensions, calculation steps for the
+measures, an aggregation step when grouping is needed, and an output
+step writing back — exactly the structure of Figure 1.  Flows are
+produced as *metadata* dictionaries (feeding the catalog of the
+metadata-driven tool) and built into executable flows from them; the
+flows of a mapping are tailored into a single job in tgd total order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import BackendError
+from ..etl import Flow, Job, RowStore, flow_from_metadata
+from ..mappings.dependencies import Tgd
+from ..mappings.mapping import SchemaMapping
+from ..model.cube import Cube, CubeSchema
+from .base import Backend, CompiledTgd
+from .ir import (
+    BinExpr,
+    CallExpr,
+    ColExpr,
+    ColRef,
+    ComputeOp,
+    ConstExpr,
+    GroupAggOp,
+    IrProgram,
+    LoadOp,
+    MergeOp,
+    OuterCombineOp,
+    RenameOp,
+    StoreOp,
+    TableFuncOp,
+)
+from .ircompile import compile_tgd_to_ir
+
+__all__ = ["EtlBackend", "flow_metadata_for_tgd"]
+
+
+class EtlBackend(Backend):
+    """Generates metadata-described ETL flows and runs them."""
+
+    name = "etl"
+
+    def new_store(self, mapping: SchemaMapping) -> RowStore:
+        return RowStore()
+
+    def load_cube(self, store: RowStore, cube: Cube) -> None:
+        store.load_cube(cube)
+
+    def extract_cube(self, store: RowStore, schema: CubeSchema) -> Cube:
+        return store.to_cube(schema)
+
+    def compile_tgd(self, tgd: Tgd, mapping: SchemaMapping) -> CompiledTgd:
+        metadata = flow_metadata_for_tgd(tgd, mapping)
+        flow = flow_from_metadata(metadata, mapping.registry)
+        text = json.dumps(metadata, indent=2, default=str)
+
+        def runner(store, _flow=flow):
+            _flow.run(store)
+
+        return CompiledTgd(tgd.label, text, runner)
+
+    def job_for(self, mapping: SchemaMapping) -> Job:
+        """All flows of a mapping tailored into one job, in tgd order."""
+        job = Job(f"job_{mapping.target.name}")
+        for tgd in mapping.target_tgds:
+            metadata = flow_metadata_for_tgd(tgd, mapping)
+            job.add(flow_from_metadata(metadata, mapping.registry))
+        return job
+
+
+def flow_metadata_for_tgd(tgd: Tgd, mapping: SchemaMapping) -> Dict[str, Any]:
+    """The metadata (catalog) description of one tgd's ETL flow.
+
+    Derived from the same IR as the specialized-language backends: load
+    becomes a TableInput, merge a MergeJoin, computes become Calculator
+    steps, group-aggregates an Aggregate step, table functions a
+    user-defined TableFunctionStep, and the store a TableOutput.
+    """
+    ir = compile_tgd_to_ir(tgd, mapping)
+    steps: List[Dict[str, Any]] = []
+    hops: List[Dict[str, Any]] = []
+    # current step feeding each IR frame variable
+    head: Dict[str, str] = {}
+    counter = [0]
+
+    def fresh(kind: str) -> str:
+        counter[0] += 1
+        return f"{kind}_{counter[0]}"
+
+    for op in ir:
+        if isinstance(op, LoadOp):
+            name = f"in_{op.table}"
+            if not any(s["name"] == name for s in steps):
+                steps.append({"type": "TableInput", "name": name, "table": op.table})
+            head[op.out] = name
+        elif isinstance(op, MergeOp):
+            name = fresh("merge")
+            steps.append({"type": "MergeJoin", "name": name, "keys": list(op.by)})
+            hops.append({"from": head[op.left], "to": name, "port": 0})
+            hops.append({"from": head[op.right], "to": name, "port": 1})
+            head[op.out] = name
+        elif isinstance(op, ComputeOp):
+            name = fresh("calc")
+            steps.append(
+                {
+                    "type": "Calculator",
+                    "name": name,
+                    "field": op.column,
+                    "formula": _formula(op.expr),
+                }
+            )
+            hops.append({"from": head[op.frame], "to": name})
+            head[op.out] = name
+        elif isinstance(op, OuterCombineOp):
+            name = fresh("outer")
+            steps.append(
+                {
+                    "type": "OuterCombine",
+                    "name": name,
+                    "keys": list(op.by),
+                    "left_value": op.left_value,
+                    "right_value": op.right_value,
+                    "op": op.op,
+                    "default": op.default,
+                    "out_field": op.out_column,
+                }
+            )
+            hops.append({"from": head[op.left], "to": name, "port": 0})
+            hops.append({"from": head[op.right], "to": name, "port": 1})
+            head[op.out] = name
+        elif isinstance(op, RenameOp):
+            previous = head[op.frame]
+            for old, new in op.mapping:
+                name = fresh("rename")
+                steps.append(
+                    {
+                        "type": "Calculator",
+                        "name": name,
+                        "field": new,
+                        "formula": old,
+                        "drop": [old],
+                    }
+                )
+                hops.append({"from": previous, "to": name})
+                previous = name
+            head[op.out] = previous
+        elif isinstance(op, GroupAggOp):
+            name = fresh("aggregate")
+            steps.append(
+                {
+                    "type": "Aggregate",
+                    "name": name,
+                    "group": [list(k) for k in op.keys],
+                    "value_field": op.value_column,
+                    "func": op.func,
+                    "out_field": op.out_column,
+                }
+            )
+            hops.append({"from": head[op.frame], "to": name})
+            head[op.out] = name
+        elif isinstance(op, TableFuncOp):
+            name = fresh("tablefunc")
+            steps.append(
+                {
+                    "type": "TableFunctionStep",
+                    "name": name,
+                    "function": op.function,
+                    "time_field": op.time_column,
+                    "value_field": op.value_column,
+                    "out_field": op.out_column,
+                    "params": dict(op.params),
+                }
+            )
+            hops.append({"from": head[op.frame], "to": name})
+            head[op.out] = name
+        elif isinstance(op, StoreOp):
+            target = mapping.target[op.table]
+            previous = head[op.frame]
+            # rename stream fields to the target's column names
+            for source, out in zip(op.columns, target.columns):
+                if source == out:
+                    continue
+                name = fresh("rename")
+                steps.append(
+                    {
+                        "type": "Calculator",
+                        "name": name,
+                        "field": out,
+                        "formula": source,
+                        "drop": [source],
+                    }
+                )
+                hops.append({"from": previous, "to": name})
+                previous = name
+            name = f"out_{op.table}"
+            steps.append(
+                {
+                    "type": "TableOutput",
+                    "name": name,
+                    "table": op.table,
+                    "fields": list(target.columns),
+                }
+            )
+            hops.append({"from": previous, "to": name})
+        else:
+            raise BackendError(
+                f"cannot express IR op {type(op).__name__} as an ETL step"
+            )
+    return {"name": f"flow_{tgd.label}", "steps": steps, "hops": hops}
+
+
+def _formula(expr: ColExpr) -> str:
+    """Render a column expression as an EXL calculator formula."""
+    if isinstance(expr, ColRef):
+        return expr.name
+    if isinstance(expr, ConstExpr):
+        if isinstance(expr.value, str):
+            return f'"{expr.value}"'
+        if isinstance(expr.value, float) and expr.value == int(expr.value):
+            return str(int(expr.value))
+        return str(expr.value)
+    if isinstance(expr, BinExpr):
+        return f"({_formula(expr.left)} {expr.op} {_formula(expr.right)})"
+    if isinstance(expr, CallExpr):
+        args = ", ".join(_formula(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise BackendError(f"cannot render formula for {expr!r}")

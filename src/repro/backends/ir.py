@@ -1,0 +1,249 @@
+"""Dataframe IR: the "intermediate abstract representation" of Section 6.
+
+The R and Matlab backends compile each tgd into a short sequence of
+dataframe operations; each backend *renders* the IR into genuine
+target-language syntax and *executes* it on its engine (frames for R,
+numpy matrices for Matlab).  Sharing the IR mirrors how EXLEngine's
+translation engine produces an abstract representation first and
+target code second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ColExpr",
+    "ColRef",
+    "ConstExpr",
+    "BinExpr",
+    "CallExpr",
+    "IrOp",
+    "LoadOp",
+    "MergeOp",
+    "OuterCombineOp",
+    "ComputeOp",
+    "DropOp",
+    "RenameOp",
+    "GroupAggOp",
+    "TableFuncOp",
+    "StoreOp",
+    "IrProgram",
+]
+
+
+# -- column expressions ------------------------------------------------------
+
+
+class ColExpr:
+    """Base class of element-wise column expressions."""
+
+
+@dataclass(frozen=True)
+class ColRef(ColExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class ConstExpr(ColExpr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class BinExpr(ColExpr):
+    op: str  # + - * / ^
+    left: ColExpr
+    right: ColExpr
+
+
+@dataclass(frozen=True)
+class CallExpr(ColExpr):
+    """A scalar or dimension function applied element-wise."""
+
+    name: str
+    args: Tuple[ColExpr, ...]
+
+    def __init__(self, name, args):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(args))
+
+
+# -- operations -----------------------------------------------------------------
+
+
+class IrOp:
+    """Base class of IR operations."""
+
+
+@dataclass(frozen=True)
+class LoadOp(IrOp):
+    """Bind a stored table to a frame variable."""
+
+    table: str
+    out: str
+
+
+@dataclass(frozen=True)
+class MergeOp(IrOp):
+    """Inner join of two frames on shared key columns.
+
+    Colliding non-key columns are renamed ``<name>.x`` / ``<name>.y``
+    (the R convention, which both engines follow).
+    """
+
+    left: str
+    right: str
+    by: Tuple[str, ...]
+    out: str
+
+    def __init__(self, left, right, by, out):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "by", tuple(by))
+        object.__setattr__(self, "out", out)
+
+
+@dataclass(frozen=True)
+class ComputeOp(IrOp):
+    """Add (or overwrite) a column computed element-wise."""
+
+    frame: str
+    column: str
+    expr: ColExpr
+    out: str
+
+
+@dataclass(frozen=True)
+class DropOp(IrOp):
+    frame: str
+    columns: Tuple[str, ...]
+    out: str
+
+    def __init__(self, frame, columns, out):
+        object.__setattr__(self, "frame", frame)
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(self, "out", out)
+
+
+@dataclass(frozen=True)
+class RenameOp(IrOp):
+    frame: str
+    mapping: Tuple[Tuple[str, str], ...]  # (old, new)
+    out: str
+
+    def __init__(self, frame, mapping, out):
+        object.__setattr__(self, "frame", frame)
+        object.__setattr__(
+            self, "mapping", tuple(tuple(pair) for pair in mapping)
+        )
+        object.__setattr__(self, "out", out)
+
+
+@dataclass(frozen=True)
+class OuterCombineOp(IrOp):
+    """Default-valued vectorial combine (Section 3's outer variant).
+
+    The result frame has the key columns plus ``out_column`` holding
+    ``left_value <op> right_value`` over the *union* of key tuples; a
+    missing side contributes ``default``.
+    """
+
+    left: str
+    right: str
+    by: Tuple[str, ...]
+    left_value: str
+    right_value: str
+    op: str  # + - *
+    default: float
+    out_column: str
+    out: str
+
+    def __init__(self, left, right, by, left_value, right_value, op, default, out_column, out):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "by", tuple(by))
+        object.__setattr__(self, "left_value", left_value)
+        object.__setattr__(self, "right_value", right_value)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "default", default)
+        object.__setattr__(self, "out_column", out_column)
+        object.__setattr__(self, "out", out)
+
+
+@dataclass(frozen=True)
+class GroupAggOp(IrOp):
+    """Group-by aggregation with optional key transforms.
+
+    ``keys`` holds ``(source_column, out_column, transform)`` triples;
+    the transform is a dimension-function name or None.
+    """
+
+    frame: str
+    keys: Tuple[Tuple[str, str, Optional[str]], ...]
+    value_column: str
+    func: str
+    out_column: str
+    out: str
+
+    def __init__(self, frame, keys, value_column, func, out_column, out):
+        object.__setattr__(self, "frame", frame)
+        object.__setattr__(self, "keys", tuple(tuple(k) for k in keys))
+        object.__setattr__(self, "value_column", value_column)
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "out_column", out_column)
+        object.__setattr__(self, "out", out)
+
+
+@dataclass(frozen=True)
+class TableFuncOp(IrOp):
+    """Whole-frame black box on a (time, value) series frame."""
+
+    frame: str
+    function: str
+    time_column: str
+    value_column: str
+    out_column: str
+    params: Tuple[Tuple[str, Any], ...]
+    out: str
+
+    def __init__(self, frame, function, time_column, value_column, out_column, params, out):
+        object.__setattr__(self, "frame", frame)
+        object.__setattr__(self, "function", function)
+        object.__setattr__(self, "time_column", time_column)
+        object.__setattr__(self, "value_column", value_column)
+        object.__setattr__(self, "out_column", out_column)
+        object.__setattr__(self, "params", tuple(params))
+        object.__setattr__(self, "out", out)
+
+
+@dataclass(frozen=True)
+class StoreOp(IrOp):
+    """Write a frame to a stored table with the given column order."""
+
+    frame: str
+    table: str
+    columns: Tuple[str, ...]
+
+    def __init__(self, frame, table, columns):
+        object.__setattr__(self, "frame", frame)
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "columns", tuple(columns))
+
+
+@dataclass(frozen=True)
+class IrProgram:
+    """The compiled form of one tgd: an ordered list of IR ops."""
+
+    label: str
+    ops: Tuple[IrOp, ...]
+
+    def __init__(self, label, ops):
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "ops", tuple(ops))
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __len__(self):
+        return len(self.ops)

@@ -1,0 +1,23 @@
+"""Data exchange by the stratified chase (Section 4.2).
+
+The chase is the reference executor: it applies the generated
+dependencies directly and is the yardstick every backend is tested
+against (the paper's equivalence theorem).
+"""
+
+from .engine import ChaseResult, ChaseStats, StratifiedChase
+from .instance import RelationalInstance, cubes_from_instance, instance_from_cubes
+from .verify import check_egds, check_tgd, is_solution, violations
+
+__all__ = [
+    "RelationalInstance",
+    "instance_from_cubes",
+    "cubes_from_instance",
+    "StratifiedChase",
+    "ChaseResult",
+    "ChaseStats",
+    "check_egds",
+    "check_tgd",
+    "is_solution",
+    "violations",
+]

@@ -1,0 +1,356 @@
+"""The stratified chase (Section 4.2).
+
+The chase applies the target tgds *in statement order*, each to
+saturation, so that the operands of aggregations and table functions
+are completely known before they fire — the paper's stratified
+variation of the classical procedure.  All tgds are full, so every
+generated tuple is made of constants and the procedure terminates.
+
+Functionality egds are checked *incrementally*: inserting a tuple
+whose dimension tuple is already present with a different measure is a
+chase failure.  Section 4.2 proves this cannot happen for mappings
+generated from valid EXL programs; the check is kept as a defensive
+invariant (and is exercised by tests with hand-built broken mappings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ChaseError, MappingError
+from ..mappings.dependencies import Atom, Tgd, TgdKind
+from ..mappings.mapping import SchemaMapping
+from ..mappings.terms import AggTerm, Const, FuncApp, Term, Var, evaluate
+from ..model.time import TimePoint
+from ..stats.aggregates import get_aggregate
+from .instance import RelationalInstance
+
+__all__ = ["ChaseStats", "ChaseResult", "StratifiedChase"]
+
+
+@dataclass
+class ChaseStats:
+    """Counters describing one chase run."""
+
+    rule_applications: int = 0
+    tuples_generated: int = 0
+    per_tgd: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ChaseResult:
+    """Solution instance plus run statistics."""
+
+    instance: RelationalInstance
+    stats: ChaseStats
+
+
+class StratifiedChase:
+    """Chases a source instance through a generated schema mapping.
+
+    ``use_indexes=False`` disables the hash-join indexes built while
+    matching multi-atom lhs conjunctions, falling back to nested-loop
+    matching — kept as an ablation knob (see bench_chase_ablation).
+    """
+
+    def __init__(self, mapping: SchemaMapping, use_indexes: bool = True):
+        self.mapping = mapping
+        self.registry = mapping.registry
+        self.use_indexes = use_indexes
+
+    def run(self, source: RelationalInstance) -> ChaseResult:
+        """Compute the data exchange solution for ``source``."""
+        stats = ChaseStats()
+        target = RelationalInstance()
+        # functional index: relation -> {dims: measure}, for egd checking
+        functional: Dict[str, Dict[Tuple, Any]] = {}
+
+        for tgd in self.mapping.st_tgds:
+            produced = self._apply_copy(tgd, source, target, functional)
+            self._record(stats, tgd, produced)
+        for tgd in self.mapping.target_tgds:
+            produced = self._apply(tgd, target, functional)
+            self._record(stats, tgd, produced)
+        return ChaseResult(target, stats)
+
+    # -- rule application --------------------------------------------------
+    def _record(self, stats: ChaseStats, tgd: Tgd, produced: int) -> None:
+        stats.rule_applications += 1
+        stats.tuples_generated += produced
+        stats.per_tgd[tgd.label or tgd.target_relation] = produced
+
+    def _apply(
+        self,
+        tgd: Tgd,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+    ) -> int:
+        if tgd.kind is TgdKind.COPY:
+            return self._apply_copy(tgd, target, target, functional)
+        if tgd.kind is TgdKind.TUPLE_LEVEL:
+            return self._apply_tuple_level(tgd, target, functional)
+        if tgd.kind is TgdKind.OUTER_TUPLE_LEVEL:
+            return self._apply_outer_tuple_level(tgd, target, functional)
+        if tgd.kind is TgdKind.AGGREGATION:
+            return self._apply_aggregation(tgd, target, functional)
+        return self._apply_table_function(tgd, target, functional)
+
+    def _apply_copy(
+        self,
+        tgd: Tgd,
+        source: RelationalInstance,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+    ) -> int:
+        produced = 0
+        relation = tgd.lhs[0].relation
+        for fact in source.facts(relation):
+            produced += self._insert(target, functional, tgd.target_relation, fact)
+        return produced
+
+    def _apply_tuple_level(
+        self,
+        tgd: Tgd,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+    ) -> int:
+        produced = 0
+        for env in self._matches(tgd.lhs, target):
+            fact = tuple(
+                evaluate(term, env, self.registry) for term in tgd.rhs.terms
+            )
+            produced += self._insert(target, functional, tgd.rhs.relation, fact)
+        return produced
+
+    def _apply_outer_tuple_level(
+        self,
+        tgd: Tgd,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+    ) -> int:
+        """Vectorial rule with a default for missing tuples: the result
+        is defined on the union of the two operands' dimension tuples,
+        padding the absent side with the tgd's default value."""
+        left_atom, right_atom = tgd.lhs
+        left = {f[:-1]: f[-1] for f in target.facts(left_atom.relation)}
+        right = {f[:-1]: f[-1] for f in target.facts(right_atom.relation)}
+        default = tgd.outer_default
+        produced = 0
+        left_measure = left_atom.terms[-1]
+        right_measure = right_atom.terms[-1]
+        dim_terms = left_atom.terms[:-1]
+        for dims in left.keys() | right.keys():
+            env = {
+                term.name: value
+                for term, value in zip(dim_terms, dims)
+                if isinstance(term, Var)
+            }
+            env[left_measure.name] = left.get(dims, default)
+            env[right_measure.name] = right.get(dims, default)
+            fact = tuple(
+                evaluate(term, env, self.registry) for term in tgd.rhs.terms
+            )
+            produced += self._insert(target, functional, tgd.rhs.relation, fact)
+        return produced
+
+    def _apply_aggregation(
+        self,
+        tgd: Tgd,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+    ) -> int:
+        atom = tgd.lhs[0]
+        group_terms = tgd.rhs.terms[: tgd.group_arity]
+        agg_term = tgd.rhs.terms[-1]
+        if not isinstance(agg_term, AggTerm):
+            raise ChaseError("aggregation tgd without an aggregate term")
+        aggregate = get_aggregate(agg_term.func)
+        groups: Dict[Tuple, List[float]] = {}
+        for env in self._matches([atom], target):
+            key = tuple(evaluate(t, env, self.registry) for t in group_terms)
+            value = evaluate(agg_term.operand, env, self.registry)
+            groups.setdefault(key, []).append(value)
+        produced = 0
+        for key, bag in groups.items():
+            fact = key + (aggregate(bag),)
+            produced += self._insert(target, functional, tgd.rhs.relation, fact)
+        return produced
+
+    def _apply_table_function(
+        self,
+        tgd: Tgd,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+    ) -> int:
+        spec = self.registry.get(tgd.table_function)
+        operand = tgd.lhs[0].relation
+        rows = sorted(target.facts(operand), key=_time_key)
+        series = [(fact[0], fact[-1]) for fact in rows]
+        result = spec.impl(series, tgd.params_dict())
+        produced = 0
+        for point, value in result:
+            produced += self._insert(
+                target, functional, tgd.rhs.relation, (point, float(value))
+            )
+        return produced
+
+    # -- matching ----------------------------------------------------------
+    def _matches(
+        self, atoms: Sequence[Atom], instance: RelationalInstance
+    ) -> Iterator[Dict[str, Any]]:
+        """Enumerate variable assignments satisfying the conjunction.
+
+        Atoms are matched left to right.  For every atom after the
+        first, a hash index is built on the positions whose value is
+        determined by the bindings so far (bound variables, constants,
+        or computable function terms), so equi-joins run in linear
+        time instead of as nested loops.
+        """
+        yield from self._match_rest(list(atoms), 0, {}, instance, {})
+
+    def _match_rest(
+        self,
+        atoms: List[Atom],
+        index: int,
+        env: Dict[str, Any],
+        instance: RelationalInstance,
+        index_cache: Dict,
+    ) -> Iterator[Dict[str, Any]]:
+        if index == len(atoms):
+            yield env
+            return
+        atom = atoms[index]
+        bound = set(env)
+        key_positions = [
+            i for i, term in enumerate(atom.terms) if _determined(term, bound)
+        ]
+        if key_positions and index > 0 and self.use_indexes:
+            cache_key = (index, atom.relation, tuple(key_positions))
+            if cache_key not in index_cache:
+                built: Dict[Tuple, List[Tuple]] = {}
+                for fact in instance.facts(atom.relation):
+                    built.setdefault(
+                        tuple(fact[i] for i in key_positions), []
+                    ).append(fact)
+                index_cache[cache_key] = built
+            key = tuple(
+                evaluate(atom.terms[i], env, self.registry) for i in key_positions
+            )
+            candidates = index_cache[cache_key].get(key, ())
+        else:
+            candidates = instance.facts(atom.relation)
+        for fact in candidates:
+            extended = self._unify(atom, fact, env)
+            if extended is not None:
+                yield from self._match_rest(
+                    atoms, index + 1, extended, instance, index_cache
+                )
+
+    def _unify(
+        self, atom: Atom, fact: Tuple, env: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        if len(atom.terms) != len(fact):
+            raise ChaseError(
+                f"arity mismatch matching {atom} against fact of length {len(fact)}"
+            )
+        extended = dict(env)
+        for term, value in zip(atom.terms, fact):
+            if isinstance(term, Var):
+                if term.name in extended:
+                    if extended[term.name] != value:
+                        return None
+                else:
+                    extended[term.name] = value
+            elif isinstance(term, Const):
+                if term.value != value:
+                    return None
+            elif isinstance(term, FuncApp):
+                solved = self._solve(term, value, extended)
+                if solved is None:
+                    return None
+                extended = solved
+            else:
+                raise ChaseError(f"cannot match term {term} in a lhs atom")
+        return extended
+
+    def _solve(
+        self, term: FuncApp, value: Any, env: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """Match a function term in a lhs atom against a value.
+
+        If all variables are bound the term is evaluated and compared;
+        otherwise the invertible shift shape ``v ± const`` is solved for
+        its variable (this is how the simplified tgd (5)'s ``q - 1``
+        atom is matched).
+        """
+        free = [v for v in _term_variables(term) if v not in env]
+        if not free:
+            return env if evaluate(term, env, self.registry) == value else None
+        if (
+            term.name in ("+", "-")
+            and len(term.args) == 2
+            and isinstance(term.args[0], Var)
+            and isinstance(term.args[1], Const)
+            and term.args[0].name not in env
+        ):
+            shift = term.args[1].value
+            inverse = FuncApp("-" if term.name == "+" else "+", (Const(value), Const(shift)))
+            solved_value = evaluate(inverse, {}, self.registry)
+            extended = dict(env)
+            extended[term.args[0].name] = solved_value
+            return extended
+        raise ChaseError(
+            f"cannot match lhs term {term}: variables {free} are unbound and "
+            f"the term is not invertible"
+        )
+
+    # -- insertion with incremental egd check --------------------------------
+    def _insert(
+        self,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+        relation: str,
+        fact: Tuple,
+    ) -> int:
+        dims, measure = fact[:-1], fact[-1]
+        seen = functional.setdefault(relation, {})
+        if dims in seen:
+            if seen[dims] != measure:
+                raise ChaseError(
+                    f"egd violation (chase failure): {relation}{dims!r} would "
+                    f"hold both {seen[dims]!r} and {measure!r}"
+                )
+            return 0
+        seen[dims] = measure
+        return 1 if target.add(relation, fact) else 0
+
+
+def _determined(term: Term, bound: set) -> bool:
+    if isinstance(term, Const):
+        return True
+    if isinstance(term, Var):
+        return term.name in bound
+    if isinstance(term, FuncApp):
+        return all(v in bound for v in _term_variables(term))
+    return False
+
+
+def _term_variables(term: Term) -> List[str]:
+    if isinstance(term, Var):
+        return [term.name]
+    if isinstance(term, Const):
+        return []
+    if isinstance(term, FuncApp):
+        out: List[str] = []
+        for arg in term.args:
+            out.extend(_term_variables(arg))
+        return out
+    raise ChaseError(f"unexpected term {term!r} in a lhs atom")
+
+
+def _time_key(fact: Tuple):
+    first = fact[0]
+    if isinstance(first, TimePoint):
+        return (first.freq.value, first.ordinal)
+    return (str(first),)

@@ -1,0 +1,89 @@
+"""Relational instances for the data exchange setting.
+
+An instance is a set of facts per relation symbol.  Cubes convert to
+and from relations by appending the measure as the last column, the
+"cube tuple" convention of Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Set, Tuple
+
+from ..errors import ChaseError
+from ..model.cube import Cube, CubeSchema
+from ..model.schema import Schema
+
+__all__ = ["RelationalInstance", "instance_from_cubes", "cubes_from_instance"]
+
+Fact = Tuple[Any, ...]
+
+
+class RelationalInstance:
+    """A mutable set of facts per relation name."""
+
+    def __init__(self):
+        self._relations: Dict[str, Set[Fact]] = {}
+
+    def add(self, relation: str, fact: Fact) -> bool:
+        """Insert a fact; returns True if it was new."""
+        facts = self._relations.setdefault(relation, set())
+        before = len(facts)
+        facts.add(tuple(fact))
+        return len(facts) != before
+
+    def add_all(self, relation: str, facts: Iterable[Fact]) -> int:
+        count = 0
+        for fact in facts:
+            if self.add(relation, fact):
+                count += 1
+        return count
+
+    def facts(self, relation: str) -> Set[Fact]:
+        return self._relations.get(relation, set())
+
+    def relations(self) -> List[str]:
+        return list(self._relations)
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self._relations
+
+    def size(self, relation: str = None) -> int:
+        if relation is not None:
+            return len(self._relations.get(relation, ()))
+        return sum(len(f) for f in self._relations.values())
+
+    def copy(self) -> "RelationalInstance":
+        clone = RelationalInstance()
+        clone._relations = {r: set(f) for r, f in self._relations.items()}
+        return clone
+
+    def __repr__(self) -> str:
+        counts = {r: len(f) for r, f in self._relations.items()}
+        return f"RelationalInstance({counts})"
+
+
+def instance_from_cubes(cubes: Dict[str, Cube]) -> RelationalInstance:
+    """Build an instance with one relation per cube (measure last)."""
+    instance = RelationalInstance()
+    for name, cube in cubes.items():
+        instance.add_all(name, cube.to_rows())
+    return instance
+
+
+def cubes_from_instance(
+    instance: RelationalInstance, schema: Schema, names: Iterable[str] = None
+) -> Dict[str, Cube]:
+    """Read relations back into cubes, enforcing functionality."""
+    result: Dict[str, Cube] = {}
+    for name in names if names is not None else instance.relations():
+        cube_schema = schema[name]
+        cube = Cube(cube_schema)
+        for fact in instance.facts(name):
+            if len(fact) != cube_schema.arity + 1:
+                raise ChaseError(
+                    f"fact {fact!r} has wrong arity for cube {name} "
+                    f"({cube_schema.arity + 1} expected)"
+                )
+            cube.set(fact[:-1], fact[-1])
+        result[name] = cube
+    return result

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command> project.json``.
+
+A *project file* (JSON) declares the elementary cubes, points at the
+EXL program and the input CSVs, and optionally pins cubes to targets:
+
+.. code-block:: json
+
+    {
+      "elementary": [
+        {"name": "PDR",
+         "dimensions": [["d", "time:D"], ["r", "string"]],
+         "measure": "p",
+         "csv": "pdr.csv"}
+      ],
+      "program": "program.exl",
+      "preferred_targets": {"GDPT": "r"},
+      "outputs": ["PCHNG"]
+    }
+
+Commands:
+
+* ``show``    — print the generated schema mapping (tgds + egds);
+* ``compile`` — print the generated script for one target system;
+* ``explain`` — print the determination plan (subgraphs and targets);
+* ``run``     — execute the program, writing derived cubes as CSVs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .backends import all_backends
+from .engine import EXLEngine
+from .errors import ReproError
+from .exl import Program
+from .mappings import generate_mapping, simplify_mapping
+from .model import Cube, CubeSchema, Dimension, Schema
+from .model.io import parse_dimtype, read_cube_csv, write_cube_csv
+
+__all__ = ["main", "load_project"]
+
+
+class Project:
+    """A parsed project file plus its base directory."""
+
+    def __init__(self, spec: Dict[str, Any], base_dir: Path):
+        self.base_dir = base_dir
+        self.schemas: List[CubeSchema] = []
+        self.csv_paths: Dict[str, Optional[Path]] = {}
+        for entry in spec.get("elementary", []):
+            dimensions = [
+                Dimension(name, parse_dimtype(type_spec))
+                for name, type_spec in entry["dimensions"]
+            ]
+            schema = CubeSchema(
+                entry["name"], dimensions, entry.get("measure", "value")
+            )
+            self.schemas.append(schema)
+            csv_name = entry.get("csv")
+            self.csv_paths[schema.name] = (
+                (base_dir / csv_name) if csv_name else None
+            )
+        program_spec = spec.get("program")
+        if program_spec is None:
+            raise ReproError("project file needs a 'program' entry")
+        program_path = base_dir / program_spec
+        if program_path.exists():
+            self.program_source = program_path.read_text()
+        else:
+            # allow inline programs: "program": "C := A * 2"
+            self.program_source = program_spec
+        self.preferred_targets: Dict[str, str] = dict(
+            spec.get("preferred_targets", {})
+        )
+        self.outputs: Optional[List[str]] = spec.get("outputs")
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(self.schemas, "project")
+
+    def load_data(self) -> Dict[str, Cube]:
+        data = {}
+        for schema in self.schemas:
+            path = self.csv_paths[schema.name]
+            if path is None:
+                continue
+            data[schema.name] = read_cube_csv(schema, path)
+        return data
+
+
+def load_project(path: str) -> Project:
+    """Parse a project file."""
+    project_path = Path(path)
+    spec = json.loads(project_path.read_text())
+    return Project(spec, project_path.parent)
+
+
+def _mapping_for(project: Project, simplify: bool):
+    program = Program.compile(project.program_source, project.schema)
+    mapping = generate_mapping(program)
+    if simplify:
+        mapping = simplify_mapping(mapping)
+    return mapping
+
+
+def cmd_show(args) -> int:
+    project = load_project(args.project)
+    mapping = _mapping_for(project, args.simplify)
+    print(mapping.describe())
+    return 0
+
+
+def cmd_compile(args) -> int:
+    project = load_project(args.project)
+    mapping = _mapping_for(project, args.simplify)
+    backends = all_backends()
+    if args.target not in backends:
+        print(f"unknown target {args.target!r}; known: {sorted(backends)}", file=sys.stderr)
+        return 2
+    print(backends[args.target].script(mapping))
+    return 0
+
+
+def _build_engine(project: Project) -> EXLEngine:
+    engine = EXLEngine()
+    for schema in project.schemas:
+        engine.declare_elementary(schema)
+    engine.add_program(project.program_source, project.preferred_targets)
+    for cube in project.load_data().values():
+        engine.load(cube)
+    return engine
+
+
+def cmd_explain(args) -> int:
+    project = load_project(args.project)
+    engine = _build_engine(project)
+    changed = [n for n, p in project.csv_paths.items() if p is not None]
+    print("determination plan (subgraph -> target):")
+    for subgraph in engine.plan(changed or None):
+        print(f"  [{subgraph.target}] {', '.join(subgraph.cubes)}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    project = load_project(args.project)
+    engine = _build_engine(project)
+    record = engine.run()
+    print(record.summary())
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    names = project.outputs or list(record.affected)
+    for name in names:
+        cube = engine.data(name)
+        destination = out_dir / f"{name}.csv"
+        write_cube_csv(cube, destination)
+        print(f"wrote {destination} ({len(cube)} tuples)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EXLEngine reproduction: compile and run EXL statistical programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="print the generated schema mapping")
+    show.add_argument("project")
+    show.add_argument("--simplify", action="store_true", help="compose complex tgds")
+    show.set_defaults(func=cmd_show)
+
+    compile_cmd = sub.add_parser("compile", help="print a target-system script")
+    compile_cmd.add_argument("project")
+    compile_cmd.add_argument(
+        "--target", default="sql", help="sql | r | matlab | etl | chase"
+    )
+    compile_cmd.add_argument("--simplify", action="store_true")
+    compile_cmd.set_defaults(func=cmd_compile)
+
+    explain = sub.add_parser("explain", help="print the determination plan")
+    explain.add_argument("project")
+    explain.set_defaults(func=cmd_explain)
+
+    run = sub.add_parser("run", help="execute the program and export CSVs")
+    run.add_argument("project")
+    run.add_argument("--out", default="out", help="output directory for CSVs")
+    run.set_defaults(func=cmd_run)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

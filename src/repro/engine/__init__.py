@@ -1,0 +1,33 @@
+"""The EXLEngine architecture (Section 6, Figure 2).
+
+Determination engine (dependency DAG, change detection, partitioning),
+translation engine (subgraph -> schema mapping -> target code),
+dispatcher (per-target execution, waves, data movement), historicity
+(run records on top of versioned cube storage), and the
+:class:`EXLEngine` facade tying them together.
+"""
+
+from .determination import (
+    DEFAULT_TARGET_PRIORITY,
+    DependencyGraph,
+    Subgraph,
+    choose_target,
+)
+from .dispatcher import Dispatcher
+from .exlengine import EXLEngine
+from .history import RunLog, RunRecord, SubgraphRecord
+from .translation import TranslatedSubgraph, TranslationEngine
+
+__all__ = [
+    "DependencyGraph",
+    "Subgraph",
+    "choose_target",
+    "DEFAULT_TARGET_PRIORITY",
+    "TranslationEngine",
+    "TranslatedSubgraph",
+    "Dispatcher",
+    "RunRecord",
+    "RunLog",
+    "SubgraphRecord",
+    "EXLEngine",
+]

@@ -1,0 +1,192 @@
+"""EXLEngine: the metadata-driven facade (Section 6, Figure 2).
+
+Usage::
+
+    engine = EXLEngine()
+    engine.declare_elementary(pdr_schema)
+    engine.declare_elementary(rgdppc_schema)
+    engine.add_program(GDP_PROGRAM)          # declares the derived cubes
+    engine.load(pdr_cube)
+    engine.load(rgdppc_cube)
+    record = engine.run()                    # determination -> translation -> dispatch
+    pchng = engine.data("PCHNG")
+
+Subsequent ``engine.load`` of new elementary data followed by
+``engine.run()`` recomputes only the affected part of the DAG.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..backends import Backend, all_backends
+from ..errors import EngineError
+from ..exl.operators import OperatorRegistry, default_registry
+from ..exl.parser import parse_program
+from ..model.catalog import MetadataCatalog
+from ..model.cube import Cube, CubeSchema
+from ..model.schema import Schema
+from .determination import DEFAULT_TARGET_PRIORITY, DependencyGraph, Subgraph
+from .dispatcher import Dispatcher
+from .history import RunLog, RunRecord
+from .translation import TranslatedSubgraph, TranslationEngine
+
+__all__ = ["EXLEngine"]
+
+
+class EXLEngine:
+    """The engineered system: catalog + determination + translation +
+    dispatch + historicity."""
+
+    def __init__(
+        self,
+        registry: Optional[OperatorRegistry] = None,
+        backends: Optional[Dict[str, Backend]] = None,
+        target_priority: Sequence[str] = DEFAULT_TARGET_PRIORITY,
+        parallel: bool = False,
+    ):
+        self.registry = registry or default_registry()
+        self.backends = backends or all_backends()
+        self.target_priority = tuple(target_priority)
+        self.parallel = parallel
+        self.catalog = MetadataCatalog()
+        self.runs = RunLog()
+        self._graph: Optional[DependencyGraph] = None
+        self._translator: Optional[TranslationEngine] = None
+        self._loaded_since_last_run: List[str] = []
+
+    # -- metadata definition ------------------------------------------------
+    def declare_elementary(
+        self, schema: CubeSchema, preferred_target: Optional[str] = None
+    ) -> None:
+        """Register an elementary cube (base data fed from outside)."""
+        self.catalog.declare_elementary(schema, preferred_target)
+        self._invalidate()
+
+    def add_program(
+        self,
+        source: str,
+        preferred_targets: Optional[Dict[str, str]] = None,
+    ) -> List[str]:
+        """Register an EXL program: each statement declares a derived cube.
+
+        The program is validated against the current catalog; inferred
+        schemas are recorded.  ``preferred_targets`` optionally pins
+        specific cubes to specific target systems (technical metadata).
+
+        Returns the names of the derived cubes added.
+        """
+        from ..exl.program import Program
+
+        preferred_targets = preferred_targets or {}
+        base = self.catalog.as_schema()
+        program = Program.compile(source, base, self.registry)
+        added = []
+        for validated in program.statements:
+            statement_text = str(validated.ast)
+            self.catalog.declare_derived(
+                validated.schema,
+                statement_text,
+                preferred_targets.get(validated.target),
+            )
+            added.append(validated.target)
+        self._invalidate()
+        return added
+
+    # -- data ----------------------------------------------------------------
+    def load(self, cube: Cube) -> int:
+        """Feed elementary data; marks the cube changed for the next run."""
+        if not self.catalog.is_elementary(cube.schema.name):
+            raise EngineError(
+                f"only elementary cubes can be loaded, {cube.schema.name} is "
+                f"derived"
+            )
+        version = self.catalog.load(cube)
+        self._loaded_since_last_run.append(cube.schema.name)
+        return version
+
+    def data(self, name: str, version: Optional[int] = None) -> Cube:
+        """Read a cube (latest or a historical version)."""
+        return self.catalog.data(name, version)
+
+    # -- lazy internals -----------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._graph = None
+        self._translator = None
+
+    @property
+    def graph(self) -> DependencyGraph:
+        if self._graph is None:
+            self._graph = DependencyGraph(self.catalog, self.registry)
+        return self._graph
+
+    @property
+    def translator(self) -> TranslationEngine:
+        if self._translator is None:
+            self._translator = TranslationEngine(
+                self.catalog, self.graph, self.registry, self.backends
+            )
+        return self._translator
+
+    # -- running ---------------------------------------------------------------------
+    def run(
+        self,
+        changed: Optional[Iterable[str]] = None,
+        as_of: Optional[int] = None,
+    ) -> RunRecord:
+        """One determination → translation → dispatch cycle.
+
+        Args:
+            changed: elementary cubes whose data changed; defaults to
+                everything loaded since the previous run (or all
+                elementary cubes with data on the first run).
+            as_of: replay a *vintage*: elementary inputs are read at
+                this historical version (derived intermediates are
+                recomputed, not read historically).  Results are stored
+                as new versions, so the replay itself is versioned.
+        """
+        if changed is None:
+            changed = self._loaded_since_last_run or [
+                n for n in self.catalog.elementary_names if self.catalog.has_data(n)
+            ]
+        changed = list(dict.fromkeys(changed))
+        if not changed:
+            raise EngineError("nothing to run: no elementary data has changed")
+
+        t0 = time.perf_counter()
+        affected = self.graph.affected_by(changed)
+        subgraphs = self.graph.partition(affected, self.target_priority)
+        determination_s = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        translated = self.translator.translate_all(subgraphs)
+        translation_s = time.perf_counter() - t1
+
+        record = self.runs.open(changed, affected)
+        record.determination_s = determination_s
+        record.translation_s = translation_s
+        dispatcher = Dispatcher(self.catalog, self.graph, self.parallel, as_of=as_of)
+        dispatcher.dispatch(translated, record)
+        self.runs.close(record)
+        self._loaded_since_last_run = []
+        return record
+
+    # -- inspection ---------------------------------------------------------------
+    def plan(self, changed: Optional[Iterable[str]] = None) -> List[Subgraph]:
+        """The subgraphs a run would dispatch, without executing them."""
+        if changed is None:
+            changed = [
+                n for n in self.catalog.elementary_names if self.catalog.has_data(n)
+            ]
+        affected = self.graph.affected_by(changed)
+        return self.graph.partition(affected, self.target_priority)
+
+    def scripts(self, changed: Optional[Iterable[str]] = None) -> Dict[str, str]:
+        """Generated target scripts per subgraph (keyed by 'target:cubes')."""
+        out = {}
+        for subgraph in self.plan(changed):
+            translated = self.translator.translate(subgraph)
+            key = f"{subgraph.target}:{'+'.join(subgraph.cubes)}"
+            out[key] = translated.script
+        return out

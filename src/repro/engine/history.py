@@ -1,0 +1,97 @@
+"""Run records: the historicity of engine executions.
+
+Cube data itself is versioned by :class:`~repro.model.VersionedStore`;
+this module records the *runs* — what triggered them, which subgraphs
+were dispatched where, how long each took, and the versions written —
+so any past state of the system can be reconstructed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SubgraphRecord", "RunRecord", "RunLog"]
+
+_run_counter = itertools.count(1)
+
+
+@dataclass
+class SubgraphRecord:
+    """Execution record of one dispatched subgraph."""
+
+    cubes: Tuple[str, ...]
+    target: str
+    duration_s: float
+    tuples_written: int
+    versions: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RunRecord:
+    """One determination → translation → dispatch cycle."""
+
+    run_id: int
+    trigger: Tuple[str, ...]  # changed elementary cubes
+    affected: Tuple[str, ...]  # derived cubes recomputed, in order
+    subgraphs: List[SubgraphRecord] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    determination_s: float = 0.0
+    translation_s: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def execution_s(self) -> float:
+        return sum(s.duration_s for s in self.subgraphs)
+
+    def summary(self) -> str:
+        lines = [
+            f"run {self.run_id}: trigger={list(self.trigger)} "
+            f"affected={len(self.affected)} cubes in {len(self.subgraphs)} "
+            f"subgraphs, {self.duration_s:.3f}s total "
+            f"(determination {self.determination_s * 1000:.1f}ms, "
+            f"translation {self.translation_s * 1000:.1f}ms)"
+        ]
+        for record in self.subgraphs:
+            lines.append(
+                f"  [{record.target}] {', '.join(record.cubes)}: "
+                f"{record.tuples_written} tuples in {record.duration_s:.3f}s"
+            )
+        return "\n".join(lines)
+
+
+class RunLog:
+    """Ordered log of all runs of an engine instance."""
+
+    def __init__(self):
+        self._runs: List[RunRecord] = []
+
+    def open(self, trigger, affected) -> RunRecord:
+        record = RunRecord(
+            run_id=next(_run_counter),
+            trigger=tuple(trigger),
+            affected=tuple(affected),
+            started_at=time.perf_counter(),
+        )
+        self._runs.append(record)
+        return record
+
+    def close(self, record: RunRecord) -> RunRecord:
+        record.finished_at = time.perf_counter()
+        return record
+
+    @property
+    def runs(self) -> List[RunRecord]:
+        return list(self._runs)
+
+    def last(self) -> Optional[RunRecord]:
+        return self._runs[-1] if self._runs else None
+
+    def __len__(self) -> int:
+        return len(self._runs)

@@ -1,0 +1,43 @@
+"""A from-scratch streaming ETL engine (the Pentaho target of Section 5.3).
+
+Flows are DAGs of steps (data source, merge join, calculator,
+aggregate, table function, output) built directly or from metadata
+dictionaries; jobs compose flows in tgd order.
+"""
+
+from .flow import Flow, FlowResult, Hop, Job
+from .metadata import flow_from_metadata, flow_to_metadata
+from .steps import (
+    Aggregate,
+    Calculator,
+    OuterCombine,
+    FilterStep,
+    MergeJoin,
+    SortStep,
+    Step,
+    TableFunctionStep,
+    TableInput,
+    TableOutput,
+    evaluate_formula,
+)
+from .store import RowStore
+
+__all__ = [
+    "RowStore",
+    "Step",
+    "TableInput",
+    "MergeJoin",
+    "Calculator",
+    "Aggregate",
+    "TableFunctionStep",
+    "FilterStep",
+    "SortStep",
+    "TableOutput",
+    "evaluate_formula",
+    "Hop",
+    "Flow",
+    "FlowResult",
+    "Job",
+    "flow_from_metadata",
+    "flow_to_metadata",
+]

@@ -1,0 +1,155 @@
+"""ETL flows and jobs.
+
+A flow is a DAG of steps connected by hops; executing a flow runs the
+steps in topological order, materializing each step's row stream (which
+also allows fan-out).  A job is the ordered composition of flows — "all
+flows are finally tailored into a more comprising job according to tgds
+total order" (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import EtlError
+from .steps import Step
+from .store import Row, RowStore
+
+__all__ = ["Hop", "Flow", "FlowResult", "Job"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """A directed edge between two step names.
+
+    ``port`` orders the inputs of multi-input steps (0 = left stream of
+    a merge join, 1 = right).
+    """
+
+    source: str
+    target: str
+    port: int = 0
+
+
+class Flow:
+    """A named DAG of ETL steps."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._steps: Dict[str, Step] = {}
+        self._hops: List[Hop] = []
+
+    # -- construction --------------------------------------------------
+    def add(self, step: Step) -> Step:
+        if step.name in self._steps:
+            raise EtlError(f"flow {self.name}: duplicate step {step.name}")
+        self._steps[step.name] = step
+        return step
+
+    def hop(self, source: str, target: str, port: int = 0) -> None:
+        for name in (source, target):
+            if name not in self._steps:
+                raise EtlError(f"flow {self.name}: unknown step {name!r}")
+        self._hops.append(Hop(source, target, port))
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def steps(self) -> List[Step]:
+        return list(self._steps.values())
+
+    @property
+    def hops(self) -> List[Hop]:
+        return list(self._hops)
+
+    def step(self, name: str) -> Step:
+        try:
+            return self._steps[name]
+        except KeyError:
+            raise EtlError(f"flow {self.name}: unknown step {name!r}") from None
+
+    def topological_order(self) -> List[str]:
+        incoming: Dict[str, int] = {name: 0 for name in self._steps}
+        for hop in self._hops:
+            incoming[hop.target] += 1
+        ready = [name for name, count in incoming.items() if count == 0]
+        order: List[str] = []
+        remaining = dict(incoming)
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for hop in self._hops:
+                if hop.source == name:
+                    remaining[hop.target] -= 1
+                    if remaining[hop.target] == 0:
+                        ready.append(hop.target)
+        if len(order) != len(self._steps):
+            raise EtlError(f"flow {self.name} contains a cycle")
+        return order
+
+    def describe(self) -> Dict[str, Any]:
+        """Metadata view of the flow (steps + hops), Kettle-catalog style."""
+        return {
+            "name": self.name,
+            "steps": [self._steps[n].describe() for n in self.topological_order()],
+            "hops": [
+                {"from": h.source, "to": h.target, "port": h.port}
+                for h in self._hops
+            ],
+        }
+
+    # -- execution --------------------------------------------------------------
+    def run(self, store: RowStore) -> Dict[str, List[Row]]:
+        """Execute the flow; returns each step's materialized output."""
+        self._validate_inputs()
+        outputs: Dict[str, List[Row]] = {}
+        for name in self.topological_order():
+            step = self._steps[name]
+            feeding = sorted(
+                (h for h in self._hops if h.target == name),
+                key=lambda h: h.port,
+            )
+            inputs = [outputs[h.source] for h in feeding]
+            outputs[name] = step.run(inputs, store)
+        return outputs
+
+    def _validate_inputs(self) -> None:
+        for name, step in self._steps.items():
+            n = sum(1 for h in self._hops if h.target == name)
+            if n != step.n_inputs:
+                raise EtlError(
+                    f"flow {self.name}: step {name} has {n} inputs, needs "
+                    f"{step.n_inputs}"
+                )
+
+    def __repr__(self) -> str:
+        return f"Flow({self.name}, {len(self._steps)} steps)"
+
+
+@dataclass
+class FlowResult:
+    flow: str
+    rows_out: int
+
+
+class Job:
+    """An ordered sequence of flows sharing one store."""
+
+    def __init__(self, name: str, flows: Optional[Sequence[Flow]] = None):
+        self.name = name
+        self.flows: List[Flow] = list(flows or [])
+
+    def add(self, flow: Flow) -> Flow:
+        self.flows.append(flow)
+        return flow
+
+    def run(self, store: RowStore) -> List[FlowResult]:
+        results = []
+        for flow in self.flows:
+            outputs = flow.run(store)
+            terminal = max(outputs.values(), key=len, default=[])
+            results.append(FlowResult(flow.name, len(terminal)))
+        return results
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name, "flows": [f.describe() for f in self.flows]}

@@ -1,0 +1,121 @@
+"""Metadata-driven flow construction.
+
+Pentaho Data Integration "has the advantage of being completely
+metadata driven"; EXLEngine integrates by "feeding the metadata catalog
+of the specific tool" (Section 5.3).  This module is that integration
+surface: a flow is described by a plain dictionary (JSON-shaped) and
+built — or exported back — from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import EtlError
+from ..exl.operators import OperatorRegistry, default_registry
+from .flow import Flow
+from .steps import (
+    Aggregate,
+    Calculator,
+    OuterCombine,
+    FilterStep,
+    MergeJoin,
+    SortStep,
+    Step,
+    TableFunctionStep,
+    TableInput,
+    TableOutput,
+)
+
+__all__ = ["flow_from_metadata", "flow_to_metadata"]
+
+_STEP_TYPES = {
+    "TableInput",
+    "MergeJoin",
+    "OuterCombine",
+    "Calculator",
+    "Aggregate",
+    "TableFunctionStep",
+    "FilterStep",
+    "SortStep",
+    "TableOutput",
+}
+
+
+def flow_from_metadata(
+    metadata: Dict[str, Any], registry: Optional[OperatorRegistry] = None
+) -> Flow:
+    """Build an executable :class:`Flow` from its metadata description.
+
+    The metadata format is exactly what :func:`flow_to_metadata`
+    (and :meth:`Flow.describe`) produce, so flows round-trip.
+    """
+    registry = registry or default_registry()
+    flow = Flow(metadata.get("name", "flow"))
+    for meta in metadata.get("steps", ()):
+        flow.add(_build_step(meta, registry))
+    for hop in metadata.get("hops", ()):
+        flow.hop(hop["from"], hop["to"], hop.get("port", 0))
+    return flow
+
+
+def _build_step(meta: Dict[str, Any], registry: OperatorRegistry) -> Step:
+    step_type = meta.get("type")
+    name = meta.get("name")
+    if not name:
+        raise EtlError(f"step metadata without a name: {meta!r}")
+    if step_type == "TableInput":
+        return TableInput(name, meta["table"])
+    if step_type == "MergeJoin":
+        return MergeJoin(name, meta["keys"])
+    if step_type == "OuterCombine":
+        return OuterCombine(
+            name,
+            meta["keys"],
+            meta["left_value"],
+            meta["right_value"],
+            meta["op"],
+            meta["default"],
+            meta["out_field"],
+        )
+    if step_type == "Calculator":
+        return Calculator(
+            name,
+            meta["field"],
+            meta["formula"],
+            meta.get("drop", ()),
+            registry,
+        )
+    if step_type == "Aggregate":
+        return Aggregate(
+            name,
+            [tuple(g) for g in meta["group"]],
+            meta["value_field"],
+            meta["func"],
+            meta.get("out_field"),
+            registry,
+        )
+    if step_type == "TableFunctionStep":
+        return TableFunctionStep(
+            name,
+            meta["function"],
+            meta["time_field"],
+            meta["value_field"],
+            meta.get("out_field"),
+            meta.get("params"),
+            registry,
+        )
+    if step_type == "FilterStep":
+        return FilterStep(name, meta["formula"], registry)
+    if step_type == "SortStep":
+        return SortStep(name, meta["fields"])
+    if step_type == "TableOutput":
+        return TableOutput(name, meta["table"], meta["fields"])
+    raise EtlError(
+        f"unknown step type {step_type!r} (known: {sorted(_STEP_TYPES)})"
+    )
+
+
+def flow_to_metadata(flow: Flow) -> Dict[str, Any]:
+    """Export a flow as metadata (alias of :meth:`Flow.describe`)."""
+    return flow.describe()

@@ -1,0 +1,424 @@
+"""ETL steps — the taxonomy of Section 5.3.
+
+Each step transforms row streams: *data source* steps feed rows in,
+*merge* steps join streams on dimensions, *calculation* steps compute
+measures, *aggregation* steps roll up, *table function* steps apply
+black-box whole-stream operators, and *output* steps write back.
+
+Calculator formulas are EXL scalar expressions over field names
+(``p * g``, ``ln(v)``), evaluated with the operator registry — the
+"user defined algebraic or statistical calculations" of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import EtlError, OperatorError
+from ..exl.ast import BinOp, Call, CubeRef, Expr, Number, String, UnaryOp
+from ..exl.operators import OperatorRegistry, OpKind, default_registry
+from ..exl.parser import parse_expression
+from ..model.time import TimePoint
+from ..stats.aggregates import get_aggregate
+from .store import Row, RowStore
+
+__all__ = [
+    "Step",
+    "TableInput",
+    "MergeJoin",
+    "OuterCombine",
+    "Calculator",
+    "Aggregate",
+    "TableFunctionStep",
+    "FilterStep",
+    "SortStep",
+    "TableOutput",
+    "evaluate_formula",
+]
+
+
+class Step:
+    """Base class: a named node of an ETL flow."""
+
+    #: how many incoming hops the step expects
+    n_inputs: int = 1
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def run(self, inputs: List[List[Row]], store: RowStore) -> List[Row]:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """Step metadata (the Kettle-catalog view of the step)."""
+        return {"name": self.name, "type": type(self).__name__}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class TableInput(Step):
+    """Data source step: reads a store table into the stream."""
+
+    n_inputs = 0
+
+    def __init__(self, name: str, table: str):
+        super().__init__(name)
+        self.table = table
+
+    def run(self, inputs, store: RowStore) -> List[Row]:
+        return [dict(row) for row in store.rows(self.table)]
+
+    def describe(self):
+        return {**super().describe(), "table": self.table}
+
+
+class MergeJoin(Step):
+    """Inner join of two streams on key fields (hash implementation)."""
+
+    n_inputs = 2
+
+    def __init__(self, name: str, keys: Sequence[str]):
+        super().__init__(name)
+        self.keys = list(keys)
+
+    def run(self, inputs, store: RowStore) -> List[Row]:
+        if len(inputs) != 2:
+            raise EtlError(f"merge step {self.name} needs exactly 2 inputs")
+        left, right = inputs
+        index: Dict[Tuple, List[Row]] = {}
+        for row in right:
+            key = tuple(row.get(k) for k in self.keys)
+            index.setdefault(key, []).append(row)
+        out: List[Row] = []
+        for row in left:
+            key = tuple(row.get(k) for k in self.keys)
+            for match in index.get(key, ()):
+                merged = dict(match)
+                merged.update(row)  # left wins on collisions
+                out.append(merged)
+        return out
+
+    def describe(self):
+        return {**super().describe(), "keys": list(self.keys)}
+
+
+class OuterCombine(Step):
+    """Default-valued combine of two streams on key fields.
+
+    Emits one row per key tuple in the *union* of both streams, with
+    ``out_field = left <op> right`` and the default standing in for a
+    missing side — the ETL form of the outer vectorial operators.
+    """
+
+    n_inputs = 2
+
+    def __init__(
+        self,
+        name: str,
+        keys: Sequence[str],
+        left_value: str,
+        right_value: str,
+        op: str,
+        default: float,
+        out_field: str,
+    ):
+        super().__init__(name)
+        self.keys = list(keys)
+        self.left_value = left_value
+        self.right_value = right_value
+        self.op = op
+        self.default = float(default)
+        self.out_field = out_field
+        if op not in ("+", "-", "*"):
+            raise EtlError(f"unsupported outer combine operator {op!r}")
+
+    def run(self, inputs, store: RowStore) -> List[Row]:
+        if len(inputs) != 2:
+            raise EtlError(f"outer combine step {self.name} needs 2 inputs")
+        left_rows, right_rows = inputs
+        left: Dict[Tuple, float] = {}
+        for row in left_rows:
+            left[tuple(row.get(k) for k in self.keys)] = row[self.left_value]
+        right: Dict[Tuple, float] = {}
+        for row in right_rows:
+            right[tuple(row.get(k) for k in self.keys)] = row[self.right_value]
+        out: List[Row] = []
+        for key in left.keys() | right.keys():
+            a = left.get(key, self.default)
+            b = right.get(key, self.default)
+            value = a + b if self.op == "+" else a - b if self.op == "-" else a * b
+            row = dict(zip(self.keys, key))
+            row[self.out_field] = value
+            out.append(row)
+        return out
+
+    def describe(self):
+        return {
+            **super().describe(),
+            "keys": list(self.keys),
+            "left_value": self.left_value,
+            "right_value": self.right_value,
+            "op": self.op,
+            "default": self.default,
+            "out_field": self.out_field,
+        }
+
+
+class Calculator(Step):
+    """Adds a field computed from an EXL scalar formula over fields."""
+
+    def __init__(
+        self,
+        name: str,
+        field: str,
+        formula: str,
+        drop: Sequence[str] = (),
+        registry: Optional[OperatorRegistry] = None,
+    ):
+        super().__init__(name)
+        self.field = field
+        self.formula = formula
+        self.drop = list(drop)
+        self._registry = registry or default_registry()
+        self._expr = parse_expression(formula)
+
+    def run(self, inputs, store: RowStore) -> List[Row]:
+        (rows,) = inputs
+        out = []
+        for row in rows:
+            value = evaluate_formula(self._expr, row, self._registry)
+            updated = {k: v for k, v in row.items() if k not in self.drop}
+            updated[self.field] = value
+            out.append(updated)
+        return out
+
+    def describe(self):
+        return {
+            **super().describe(),
+            "field": self.field,
+            "formula": self.formula,
+            "drop": list(self.drop),
+        }
+
+
+class Aggregate(Step):
+    """Group-by roll-up with optional key transforms/renames.
+
+    ``group`` items are ``(source_field, out_field, transform_name)``
+    where the transform is a dimension function (``quarter``) or None.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        group: Sequence[Tuple[str, str, Optional[str]]],
+        value_field: str,
+        func: str,
+        out_field: Optional[str] = None,
+        registry: Optional[OperatorRegistry] = None,
+    ):
+        super().__init__(name)
+        self.group = [tuple(g) for g in group]
+        self.value_field = value_field
+        self.func = func
+        self.out_field = out_field or value_field
+        self._registry = registry or default_registry()
+        self._agg = get_aggregate(func)
+
+    def run(self, inputs, store: RowStore) -> List[Row]:
+        (rows,) = inputs
+        groups: Dict[Tuple, List[float]] = {}
+        for row in rows:
+            key = []
+            for source, _out, transform in self.group:
+                value = row.get(source)
+                if transform is not None:
+                    value = self._registry.get(transform).impl(value)
+                key.append(value)
+            groups.setdefault(tuple(key), []).append(row[self.value_field])
+        out = []
+        for key, bag in groups.items():
+            row = {
+                out_field: part
+                for (_src, out_field, _t), part in zip(self.group, key)
+            }
+            row[self.out_field] = self._agg(bag)
+            out.append(row)
+        return out
+
+    def describe(self):
+        return {
+            **super().describe(),
+            "group": [list(g) for g in self.group],
+            "value_field": self.value_field,
+            "func": self.func,
+            "out_field": self.out_field,
+        }
+
+
+class TableFunctionStep(Step):
+    """Whole-stream black box (user-defined step in Kettle terms).
+
+    Buffers the stream, sorts by the time field, applies an EXL table
+    function and re-emits ``(time_field, out_field)`` rows.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        function: str,
+        time_field: str,
+        value_field: str,
+        out_field: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        registry: Optional[OperatorRegistry] = None,
+    ):
+        super().__init__(name)
+        self.function = function
+        self.time_field = time_field
+        self.value_field = value_field
+        self.out_field = out_field or value_field
+        self.params = dict(params or {})
+        self._registry = registry or default_registry()
+        spec = self._registry.get(function)
+        if spec.kind is not OpKind.TABLE_FUNCTION:
+            raise EtlError(f"{function} is not a table function")
+        self._impl = spec.impl
+
+    def run(self, inputs, store: RowStore) -> List[Row]:
+        (rows,) = inputs
+        series = sorted(
+            ((row[self.time_field], row[self.value_field]) for row in rows),
+            key=lambda pair: pair[0].ordinal
+            if isinstance(pair[0], TimePoint)
+            else pair[0],
+        )
+        result = self._impl(series, self.params)
+        return [
+            {self.time_field: point, self.out_field: float(value)}
+            for point, value in result
+        ]
+
+    def describe(self):
+        return {
+            **super().describe(),
+            "function": self.function,
+            "time_field": self.time_field,
+            "value_field": self.value_field,
+            "out_field": self.out_field,
+            "params": dict(self.params),
+        }
+
+
+class FilterStep(Step):
+    """Keeps rows whose EXL boolean-ish formula is non-zero."""
+
+    def __init__(self, name: str, formula: str, registry: Optional[OperatorRegistry] = None):
+        super().__init__(name)
+        self.formula = formula
+        self._registry = registry or default_registry()
+        self._expr = parse_expression(formula)
+
+    def run(self, inputs, store: RowStore) -> List[Row]:
+        (rows,) = inputs
+        return [
+            row
+            for row in rows
+            if evaluate_formula(self._expr, row, self._registry)
+        ]
+
+    def describe(self):
+        return {**super().describe(), "formula": self.formula}
+
+
+class SortStep(Step):
+    """Sorts the stream by the given fields."""
+
+    def __init__(self, name: str, fields: Sequence[str]):
+        super().__init__(name)
+        self.fields = list(fields)
+
+    def run(self, inputs, store: RowStore) -> List[Row]:
+        (rows,) = inputs
+
+        def key(row: Row):
+            out = []
+            for field in self.fields:
+                value = row.get(field)
+                if isinstance(value, TimePoint):
+                    out.append((1, value.freq.value, value.ordinal))
+                elif isinstance(value, str):
+                    out.append((2, value, 0))
+                else:
+                    out.append((1, "", value))
+            return tuple(out)
+
+        return sorted(rows, key=key)
+
+    def describe(self):
+        return {**super().describe(), "fields": list(self.fields)}
+
+
+class TableOutput(Step):
+    """Output step: writes the stream into a store table."""
+
+    def __init__(self, name: str, table: str, fields: Sequence[str]):
+        super().__init__(name)
+        self.table = table
+        self.fields = list(fields)
+
+    def run(self, inputs, store: RowStore) -> List[Row]:
+        (rows,) = inputs
+        store.ensure(self.table, self.fields)
+        store.write(self.table, rows)
+        return rows
+
+    def describe(self):
+        return {**super().describe(), "table": self.table, "fields": list(self.fields)}
+
+
+def evaluate_formula(expr: Expr, row: Row, registry: OperatorRegistry) -> Any:
+    """Evaluate an EXL scalar expression over a row's fields."""
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, String):
+        return expr.value
+    if isinstance(expr, CubeRef):  # a field reference in this context
+        if expr.name not in row:
+            raise EtlError(f"row has no field {expr.name!r} (has {sorted(row)})")
+        return row[expr.name]
+    if isinstance(expr, UnaryOp):
+        return -evaluate_formula(expr.operand, row, registry)
+    if isinstance(expr, BinOp):
+        left = evaluate_formula(expr.left, row, registry)
+        right = evaluate_formula(expr.right, row, registry)
+        return _arith(expr.op, left, right)
+    if isinstance(expr, Call):
+        spec = registry.get(expr.name)
+        if spec.kind not in (OpKind.SCALAR, OpKind.DIM_FUNCTION):
+            raise EtlError(
+                f"only scalar functions are allowed in calculator formulas, "
+                f"got {expr.name}"
+            )
+        args = [evaluate_formula(a, row, registry) for a in expr.args]
+        return spec.impl(*args)
+    raise EtlError(f"unsupported formula node {type(expr).__name__}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if isinstance(left, TimePoint) and isinstance(right, (int, float)):
+        return left.shift(int(right)) if op == "+" else left.shift(-int(right))
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise OperatorError("division by zero in calculator step")
+        return left / right
+    if op == "^":
+        return left**right
+    raise EtlError(f"unknown operator {op!r} in a formula")

@@ -1,0 +1,69 @@
+"""EXL — the EXpression Language for statistical programs (Section 3).
+
+Public entry points:
+
+* :func:`parse_program` / :func:`parse_expression` — syntax only;
+* :class:`Program` — parse + validate against a schema;
+* :func:`normalize_program` — single-operator rewrite (Section 4.1);
+* :func:`default_registry` — the standard operator set.
+"""
+
+from .ast import (
+    BinOp,
+    Call,
+    CubeRef,
+    Expr,
+    GroupItem,
+    Number,
+    ProgramAst,
+    Statement,
+    String,
+    UnaryOp,
+    cube_refs,
+    walk,
+)
+from .lexer import tokenize
+from .normalize import fold_constants, normalize_program
+from .operators import (
+    ALL_TARGETS,
+    OUTER_DEFAULTS,
+    OperatorRegistry,
+    OperatorSpec,
+    OpKind,
+    default_registry,
+    period_for_frequency,
+)
+from .parser import parse_expression, parse_program
+from .program import Program, ValidatedStatement
+from .semantics import SemanticAnalyzer, infer_expression_schema
+
+__all__ = [
+    "tokenize",
+    "parse_program",
+    "parse_expression",
+    "Expr",
+    "Number",
+    "String",
+    "CubeRef",
+    "UnaryOp",
+    "BinOp",
+    "Call",
+    "GroupItem",
+    "Statement",
+    "ProgramAst",
+    "walk",
+    "cube_refs",
+    "OpKind",
+    "OperatorSpec",
+    "OperatorRegistry",
+    "default_registry",
+    "ALL_TARGETS",
+    "OUTER_DEFAULTS",
+    "period_for_frequency",
+    "SemanticAnalyzer",
+    "infer_expression_schema",
+    "Program",
+    "ValidatedStatement",
+    "normalize_program",
+    "fold_constants",
+]

@@ -1,0 +1,197 @@
+"""Abstract syntax tree for EXL programs.
+
+A program is a sequence of statements ``C := expr`` (Section 3).
+Expressions are cube literals, numeric/string literals, arithmetic
+combinations, and operator calls — possibly with a ``group by`` clause
+for aggregations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Expr",
+    "Number",
+    "String",
+    "CubeRef",
+    "UnaryOp",
+    "BinOp",
+    "GroupItem",
+    "Call",
+    "Statement",
+    "ProgramAst",
+]
+
+
+class Expr:
+    """Base class of EXL expression nodes."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """A numeric literal (scalar parameter or constant operand)."""
+
+    value: float
+
+    def __str__(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class String(Expr):
+    """A string literal (only valid as an operator parameter)."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class CubeRef(Expr):
+    """A cube literal: a reference to an elementary or derived cube."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary minus."""
+
+    op: str
+    operand: Expr
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"{self.op}{_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic: ``+ - * / ^`` over cubes and/or scalars."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} {self.op} {_paren(self.right)}"
+
+
+def _paren(expr: Expr) -> str:
+    if isinstance(expr, (BinOp, UnaryOp)):
+        return f"({expr})"
+    return str(expr)
+
+
+@dataclass(frozen=True)
+class GroupItem:
+    """One item of a ``group by`` list: a dimension, or a scalar function
+    of a dimension (e.g. ``quarter(d) as q``), optionally renamed.
+    """
+
+    dim: str
+    func: Optional[str] = None
+    alias: Optional[str] = None
+
+    @property
+    def result_name(self) -> str:
+        """Name of the dimension this item produces in the result cube."""
+        if self.alias:
+            return self.alias
+        if self.func:
+            return self.func
+        return self.dim
+
+    def __str__(self) -> str:
+        base = f"{self.func}({self.dim})" if self.func else self.dim
+        if self.alias:
+            return f"{base} as {self.alias}"
+        return base
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """An operator call in function notation, e.g. ``shift(C, 1)`` or
+    ``avg(PDR, group by quarter(d) as q, r)``.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+    group_by: Tuple[GroupItem, ...] = ()
+
+    def __init__(self, name: str, args, group_by=()):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "group_by", tuple(group_by))
+
+    def children(self):
+        return self.args
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.args]
+        if self.group_by:
+            parts.append("group by " + ", ".join(str(g) for g in self.group_by))
+        return f"{self.name}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One EXL assignment ``target := expr``."""
+
+    target: str
+    expr: Expr
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.target} := {self.expr}"
+
+
+@dataclass(frozen=True)
+class ProgramAst:
+    """An ordered sequence of statements."""
+
+    statements: Tuple[Statement, ...]
+
+    def __init__(self, statements):
+        object.__setattr__(self, "statements", tuple(statements))
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.statements)
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all its descendants, depth first."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def cube_refs(expr: Expr) -> List[str]:
+    """Names of all cubes referenced in the expression, in order, deduplicated."""
+    seen = []
+    for node in walk(expr):
+        if isinstance(node, CubeRef) and node.name not in seen:
+            seen.append(node.name)
+    return seen

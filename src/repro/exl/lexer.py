@@ -1,0 +1,148 @@
+"""Hand-written lexer for EXL.
+
+Statements are separated by newlines or semicolons; newlines inside
+parentheses are ignored so long expressions can wrap.  Comments run
+from ``#`` or ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ExlSyntaxError
+from .tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_SINGLE_CHAR = {
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "^": TokenType.CARET,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize an EXL program; raises :class:`ExlSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+    paren_depth = 0
+
+    def emit(ttype: TokenType, value, start_col: int) -> None:
+        tokens.append(Token(ttype, value, line, start_col))
+
+    while i < n:
+        ch = source[i]
+
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        if ch == "\n":
+            if paren_depth == 0 and tokens and tokens[-1].type is not TokenType.NEWLINE:
+                emit(TokenType.NEWLINE, "\n", col)
+            i += 1
+            line += 1
+            col = 1
+            continue
+
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        if ch == ";":
+            if tokens and tokens[-1].type is not TokenType.NEWLINE:
+                emit(TokenType.NEWLINE, ";", col)
+            i += 1
+            col += 1
+            continue
+
+        if source.startswith(":=", i):
+            emit(TokenType.ASSIGN, ":=", col)
+            i += 2
+            col += 2
+            continue
+
+        if ch in _SINGLE_CHAR:
+            if ch == "(":
+                paren_depth += 1
+            elif ch == ")":
+                paren_depth = max(0, paren_depth - 1)
+            emit(_SINGLE_CHAR[ch], ch, col)
+            i += 1
+            col += 1
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start, start_col = i, col
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < n and source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = source[start:i]
+            col += i - start
+            try:
+                value = float(text)
+            except ValueError:
+                raise ExlSyntaxError(f"invalid number literal {text!r}", line, start_col)
+            emit(TokenType.NUMBER, value, start_col)
+            continue
+
+        if ch == '"' or ch == "'":
+            quote = ch
+            start_col = col
+            i += 1
+            col += 1
+            chars = []
+            while i < n and source[i] != quote:
+                if source[i] == "\n":
+                    raise ExlSyntaxError("unterminated string literal", line, start_col)
+                chars.append(source[i])
+                i += 1
+                col += 1
+            if i >= n:
+                raise ExlSyntaxError("unterminated string literal", line, start_col)
+            i += 1
+            col += 1
+            emit(TokenType.STRING, "".join(chars), start_col)
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start, start_col = i, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            col += i - start
+            keyword = KEYWORDS.get(text.lower())
+            if keyword is not None:
+                emit(keyword, text.lower(), start_col)
+            else:
+                emit(TokenType.IDENT, text, start_col)
+            continue
+
+        raise ExlSyntaxError(f"unexpected character {ch!r}", line, col)
+
+    if tokens and tokens[-1].type is not TokenType.NEWLINE:
+        tokens.append(Token(TokenType.NEWLINE, "\n", line, col))
+    tokens.append(Token(TokenType.EOF, None, line, col))
+    return tokens

@@ -1,0 +1,191 @@
+"""Recursive-descent parser for EXL.
+
+Grammar (statements separated by newlines or ``;``)::
+
+    program    := statement*
+    statement  := IDENT ":=" expr
+    expr       := additive
+    additive   := multiplicative (("+" | "-") multiplicative)*
+    multiplicative := unary (("*" | "/") unary)*
+    unary      := "-" unary | power
+    power      := primary ("^" unary)?
+    primary    := NUMBER | STRING | IDENT | call | "(" expr ")"
+    call       := IDENT "(" [expr ("," expr)*] ["," "group" "by" groups] ")"
+    groups     := groupitem ("," groupitem)*
+    groupitem  := IDENT ["as" IDENT] | IDENT "(" IDENT ")" ["as" IDENT]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ExlSyntaxError
+from .ast import BinOp, Call, CubeRef, Expr, GroupItem, Number, ProgramAst, Statement, String, UnaryOp
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+__all__ = ["parse_program", "parse_expression"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, ttype: TokenType) -> bool:
+        return self._peek().type is ttype
+
+    def _match(self, ttype: TokenType) -> Optional[Token]:
+        if self._check(ttype):
+            return self._advance()
+        return None
+
+    def _expect(self, ttype: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not ttype:
+            raise ExlSyntaxError(
+                f"expected {what}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._match(TokenType.NEWLINE):
+            pass
+
+    # -- grammar --------------------------------------------------------
+    def parse_program(self) -> ProgramAst:
+        statements = []
+        self._skip_newlines()
+        while not self._check(TokenType.EOF):
+            statements.append(self._statement())
+            self._skip_newlines()
+        return ProgramAst(statements)
+
+    def _statement(self) -> Statement:
+        target = self._expect(TokenType.IDENT, "a cube identifier")
+        self._expect(TokenType.ASSIGN, "':='")
+        expr = self._expression()
+        token = self._peek()
+        if token.type not in (TokenType.NEWLINE, TokenType.EOF):
+            raise ExlSyntaxError(
+                f"unexpected {token.value!r} after expression", token.line, token.column
+            )
+        return Statement(target.value, expr, target.line)
+
+    def _expression(self) -> Expr:
+        return self._additive()
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            if self._match(TokenType.PLUS):
+                left = BinOp("+", left, self._multiplicative())
+            elif self._match(TokenType.MINUS):
+                left = BinOp("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            if self._match(TokenType.STAR):
+                left = BinOp("*", left, self._unary())
+            elif self._match(TokenType.SLASH):
+                left = BinOp("/", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self._match(TokenType.MINUS):
+            return UnaryOp("-", self._unary())
+        return self._power()
+
+    def _power(self) -> Expr:
+        base = self._primary()
+        if self._match(TokenType.CARET):
+            return BinOp("^", base, self._unary())  # right associative
+        return base
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if self._match(TokenType.NUMBER):
+            return Number(token.value)
+        if self._match(TokenType.STRING):
+            return String(token.value)
+        if self._match(TokenType.LPAREN):
+            inner = self._expression()
+            self._expect(TokenType.RPAREN, "')'")
+            return inner
+        if self._check(TokenType.IDENT):
+            ident = self._advance()
+            if self._match(TokenType.LPAREN):
+                return self._call(ident)
+            return CubeRef(ident.value)
+        raise ExlSyntaxError(
+            f"expected an expression, found {token.value!r}", token.line, token.column
+        )
+
+    def _call(self, name_token: Token) -> Call:
+        args: List[Expr] = []
+        group_by: Tuple[GroupItem, ...] = ()
+        if not self._check(TokenType.RPAREN):
+            while True:
+                if self._check(TokenType.KW_GROUP):
+                    group_by = self._group_clause()
+                    break
+                args.append(self._expression())
+                if not self._match(TokenType.COMMA):
+                    break
+        self._expect(TokenType.RPAREN, "')'")
+        return Call(name_token.value, args, group_by)
+
+    def _group_clause(self) -> Tuple[GroupItem, ...]:
+        self._expect(TokenType.KW_GROUP, "'group'")
+        self._expect(TokenType.KW_BY, "'by'")
+        items = [self._group_item()]
+        while self._match(TokenType.COMMA):
+            items.append(self._group_item())
+        return tuple(items)
+
+    def _group_item(self) -> GroupItem:
+        first = self._expect(TokenType.IDENT, "a dimension name")
+        func = None
+        dim = first.value
+        if self._match(TokenType.LPAREN):
+            inner = self._expect(TokenType.IDENT, "a dimension name")
+            self._expect(TokenType.RPAREN, "')'")
+            func = first.value
+            dim = inner.value
+        alias = None
+        if self._match(TokenType.KW_AS):
+            alias = self._expect(TokenType.IDENT, "an alias").value
+        return GroupItem(dim, func, alias)
+
+
+def parse_program(source: str) -> ProgramAst:
+    """Parse an EXL program (one statement per line) into an AST."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single EXL expression (useful in tests and tools)."""
+    parser = _Parser(tokenize(source))
+    parser._skip_newlines()
+    expr = parser._expression()
+    parser._skip_newlines()
+    token = parser._peek()
+    if token.type is not TokenType.EOF:
+        raise ExlSyntaxError(
+            f"unexpected trailing input {token.value!r}", token.line, token.column
+        )
+    return expr

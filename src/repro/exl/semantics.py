@@ -1,0 +1,350 @@
+"""Semantic analysis of EXL programs.
+
+Implements the static rules of Section 3:
+
+* cube identifiers split into *elementary* (declared, base data) and
+  *derived* (defined by exactly one statement);
+* a derived cube may only use elementary cubes and cubes derived in
+  *previous* statements — no recursion, no forward references;
+* a cube identifier appears as lhs at most once;
+* expressions type-check: vectorial operands share dimensions, shift
+  targets a time dimension, aggregations group by dimensions of their
+  operand, black-box table functions take a time series.
+
+The analyzer also *infers* the schema of every derived cube, checking
+it against the declared schema when one exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ExlSemanticError, OperatorError
+from ..model.cube import CubeSchema, Dimension
+from ..model.schema import Schema
+from ..model.time import Frequency
+from ..model.types import TIME, DimType
+from .ast import BinOp, Call, CubeRef, Expr, GroupItem, Number, ProgramAst, Statement, String, UnaryOp
+from .operators import OperatorRegistry, OpKind, default_registry
+
+__all__ = ["SemanticAnalyzer", "infer_expression_schema", "split_call_args"]
+
+# A "signature" is the inferred shape of an expression: None for a
+# scalar, or a CubeSchema (with a synthetic name) for a cube-valued one.
+Signature = Optional[CubeSchema]
+
+_ANON = "_expr"
+
+
+def _is_scalar_literal(expr: Expr) -> bool:
+    if isinstance(expr, UnaryOp):
+        return _is_scalar_literal(expr.operand)
+    return isinstance(expr, (Number, String))
+
+
+def _literal_number(expr: Expr) -> Optional[float]:
+    """The numeric value of a (possibly negated) number literal, else None."""
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        inner = _literal_number(expr.operand)
+        return None if inner is None else -inner
+    return None
+
+
+class SemanticAnalyzer:
+    """Checks a program AST against a schema of elementary cubes."""
+
+    def __init__(self, schema: Schema, registry: Optional[OperatorRegistry] = None):
+        self.base_schema = schema
+        self.registry = registry or default_registry()
+
+    # -- program-level -------------------------------------------------
+    def analyze(self, ast: ProgramAst) -> Tuple[List[CubeSchema], List[str], List[str]]:
+        """Validate the program.
+
+        Returns ``(per_statement_schemas, elementary_names, derived_names)``
+        where ``per_statement_schemas[i]`` is the inferred schema of the
+        i-th statement's target.
+        """
+        env: Dict[str, CubeSchema] = {c.name: c for c in self.base_schema}
+        derived: List[str] = []
+        inferred: List[CubeSchema] = []
+        used: List[str] = []
+        for statement in ast:
+            self._check_target(statement, derived)
+            signature = self.infer(statement.expr, env)
+            if signature is None:
+                raise ExlSemanticError(
+                    f"statement {statement.target!r} assigns a scalar, not a cube "
+                    f"(line {statement.line})"
+                )
+            result = signature.renamed(statement.target)
+            declared = self.base_schema.get(statement.target)
+            if declared is not None and declared.dimensions != result.dimensions:
+                raise ExlSemanticError(
+                    f"inferred schema of {statement.target} "
+                    f"({_dims(result)}) does not match its declaration ({_dims(declared)})"
+                )
+            env[statement.target] = result
+            derived.append(statement.target)
+            inferred.append(result)
+            for name in _refs(statement.expr):
+                if name not in used:
+                    used.append(name)
+        elementary = [n for n in used if n not in derived]
+        return inferred, elementary, derived
+
+    def _check_target(self, statement: Statement, derived: List[str]) -> None:
+        if statement.target in derived:
+            raise ExlSemanticError(
+                f"cube {statement.target} defined more than once "
+                f"(a cube identifier must not appear as lhs twice)"
+            )
+
+    # -- expression-level ------------------------------------------------
+    def infer(self, expr: Expr, env: Dict[str, CubeSchema]) -> Signature:
+        """Infer the signature of an expression; raises on type errors."""
+        if isinstance(expr, Number):
+            return None
+        if isinstance(expr, String):
+            raise ExlSemanticError(
+                f"string literal {expr.value!r} used outside an operator parameter"
+            )
+        if isinstance(expr, CubeRef):
+            if expr.name not in env:
+                raise ExlSemanticError(
+                    f"unknown cube {expr.name!r} (not elementary and not derived "
+                    f"by a previous statement)"
+                )
+            return env[expr.name]
+        if isinstance(expr, UnaryOp):
+            return self.infer(expr.operand, env)
+        if isinstance(expr, BinOp):
+            return self._infer_binop(expr, env)
+        if isinstance(expr, Call):
+            return self._infer_call(expr, env)
+        raise ExlSemanticError(f"unsupported expression node {type(expr).__name__}")
+
+    def _infer_binop(self, expr: BinOp, env: Dict[str, CubeSchema]) -> Signature:
+        left = self.infer(expr.left, env)
+        right = self.infer(expr.right, env)
+        if left is None and right is None:
+            return None
+        if left is not None and right is not None:
+            if expr.op == "^":
+                raise ExlSemanticError("cube ^ cube is not a supported operator")
+            if left.dimensions != right.dimensions:
+                raise ExlSemanticError(
+                    f"vectorial operator {expr.op!r} needs operands with the "
+                    f"same dimensions: {_dims(left)} vs {_dims(right)}"
+                )
+            return left.renamed(_ANON)
+        cube = left if left is not None else right
+        return cube.renamed(_ANON)
+
+    def _infer_call(self, expr: Call, env: Dict[str, CubeSchema]) -> Signature:
+        spec = self.registry.get(expr.name)
+        if spec.kind is OpKind.DIM_FUNCTION:
+            raise ExlSemanticError(
+                f"dimension function {expr.name!r} may only appear in a "
+                f"group by clause"
+            )
+        if expr.group_by and spec.kind is not OpKind.AGGREGATION:
+            raise ExlSemanticError(
+                f"group by is only valid with aggregation operators, "
+                f"not {expr.name!r}"
+            )
+        cube_args, scalar_args = split_call_args(self, expr, env)
+        if spec.kind is OpKind.SCALAR:
+            return self._infer_scalar_call(expr, spec, cube_args, scalar_args)
+        if spec.kind is OpKind.OUTER_VECTORIAL:
+            return self._infer_outer_vectorial(expr, spec, cube_args, scalar_args)
+        if spec.kind is OpKind.SHIFT:
+            return self._infer_shift(expr, cube_args, scalar_args)
+        if spec.kind is OpKind.AGGREGATION:
+            return self._infer_aggregation(expr, cube_args, scalar_args)
+        return self._infer_table_function(expr, spec, cube_args, scalar_args)
+
+    def _infer_scalar_call(self, expr, spec, cube_args, scalar_args) -> Signature:
+        if len(cube_args) > 1:
+            raise ExlSemanticError(
+                f"scalar operator {expr.name} takes one cube operand, got "
+                f"{len(cube_args)}"
+            )
+        spec.validate_param_count(len(scalar_args))
+        if not cube_args:
+            return None  # constant folding handles all-scalar calls
+        return cube_args[0][1].renamed(_ANON)
+
+    def _infer_outer_vectorial(self, expr, spec, cube_args, scalar_args) -> Signature:
+        """Vectorial operator with a default for missing tuples: the
+        result is defined on the union of the operands' dimension
+        tuples (Section 3's default-value variant)."""
+        if len(cube_args) != 2:
+            raise ExlSemanticError(
+                f"operator {expr.name} takes exactly two cube operands"
+            )
+        spec.validate_param_count(len(scalar_args))
+        if scalar_args and _literal_number(scalar_args[0][1]) is None:
+            raise ExlSemanticError(
+                f"operator {expr.name}: the default must be a number literal"
+            )
+        left, right = cube_args[0][1], cube_args[1][1]
+        if left.dimensions != right.dimensions:
+            raise ExlSemanticError(
+                f"operator {expr.name} needs operands with the same "
+                f"dimensions: {_dims(left)} vs {_dims(right)}"
+            )
+        return left.renamed(_ANON)
+
+    def _infer_shift(self, expr, cube_args, scalar_args) -> Signature:
+        if len(cube_args) != 1:
+            raise ExlSemanticError("shift takes exactly one cube operand")
+        schema = cube_args[0][1]
+        if not scalar_args:
+            raise ExlSemanticError("shift needs a periods parameter: shift(C, s)")
+        periods = _literal_number(scalar_args[0][1])
+        if periods is None or periods != int(periods):
+            raise ExlSemanticError("shift periods must be an integer literal")
+        dim_name = None
+        if len(scalar_args) > 1:
+            dim_arg = scalar_args[1][1]
+            if not isinstance(dim_arg, String):
+                raise ExlSemanticError("shift dimension must be a string literal")
+            dim_name = dim_arg.value
+        if len(scalar_args) > 2:
+            raise ExlSemanticError("shift takes at most shift(C, s, \"dim\")")
+        target = self._resolve_shift_dimension(schema, dim_name)
+        if not target.dtype.is_time:
+            raise ExlSemanticError(
+                f"shift targets dimension {target.name!r}, which is not a time "
+                f"dimension"
+            )
+        return schema.renamed(_ANON)
+
+    def _resolve_shift_dimension(
+        self, schema: CubeSchema, dim_name: Optional[str]
+    ) -> Dimension:
+        if dim_name is not None:
+            return schema.dimension(dim_name)
+        times = schema.time_dimensions
+        if len(times) != 1:
+            raise ExlSemanticError(
+                f"shift on a cube with {len(times)} time dimensions needs an "
+                f"explicit dimension: shift(C, s, \"dim\")"
+            )
+        return times[0]
+
+    def _infer_aggregation(self, expr, cube_args, scalar_args) -> Signature:
+        if len(cube_args) != 1:
+            raise ExlSemanticError(
+                f"aggregation {expr.name} takes exactly one cube operand"
+            )
+        if scalar_args:
+            raise ExlSemanticError(
+                f"aggregation {expr.name} takes no scalar parameters"
+            )
+        operand = cube_args[0][1]
+        dims: List[Dimension] = []
+        seen = set()
+        for item in expr.group_by:
+            dimension = self._group_item_dimension(expr.name, operand, item)
+            if dimension.name in seen:
+                raise ExlSemanticError(
+                    f"duplicate result dimension {dimension.name!r} in group by"
+                )
+            seen.add(dimension.name)
+            dims.append(dimension)
+        return CubeSchema(_ANON, dims, operand.measure)
+
+    def _group_item_dimension(
+        self, agg_name: str, operand: CubeSchema, item: GroupItem
+    ) -> Dimension:
+        source = operand.dimension(item.dim)  # raises if unknown
+        if item.func is None:
+            return Dimension(item.result_name, source.dtype)
+        spec = self.registry.get(item.func)
+        if spec.kind is not OpKind.DIM_FUNCTION:
+            raise ExlSemanticError(
+                f"{item.func!r} is not a dimension function and cannot appear "
+                f"in group by"
+            )
+        if not source.dtype.is_time:
+            raise ExlSemanticError(
+                f"dimension function {item.func} applied to non-time dimension "
+                f"{item.dim!r}"
+            )
+        target_freq = _dim_function_frequency(item.func)
+        if target_freq.rank >= source.dtype.freq.rank:
+            raise ExlSemanticError(
+                f"{item.func}({item.dim}) would convert {source.dtype} to a "
+                f"frequency that is not coarser"
+            )
+        return Dimension(item.result_name, TIME(target_freq))
+
+    def _infer_table_function(self, expr, spec, cube_args, scalar_args) -> Signature:
+        if len(cube_args) != 1:
+            raise ExlSemanticError(
+                f"table function {expr.name} takes exactly one cube operand"
+            )
+        spec.validate_param_count(len(scalar_args))
+        operand = cube_args[0][1]
+        if not operand.is_time_series:
+            raise ExlSemanticError(
+                f"table function {expr.name} needs a time series operand "
+                f"(one time dimension), got dimensions {_dims(operand)}"
+            )
+        return operand.renamed(_ANON)
+
+
+def split_call_args(
+    analyzer: SemanticAnalyzer, expr: Call, env: Dict[str, CubeSchema]
+):
+    """Partition a call's arguments into cube-valued and scalar ones.
+
+    Returns ``(cube_args, scalar_args)``, each a list of
+    ``(position, value)`` pairs — the value is the signature for cube
+    args and the literal Expr for scalar args.  Nested cube-valued
+    expressions are allowed (the normalizer hoists them later).
+    """
+    cube_args = []
+    scalar_args = []
+    for position, arg in enumerate(expr.args):
+        if _is_scalar_literal(arg):
+            scalar_args.append((position, arg))
+            continue
+        signature = analyzer.infer(arg, env)
+        if signature is None:
+            scalar_args.append((position, arg))
+        else:
+            cube_args.append((position, signature))
+    return cube_args, scalar_args
+
+
+def _dim_function_frequency(func: str) -> Frequency:
+    return {
+        "quarter": Frequency.QUARTER,
+        "month": Frequency.MONTH,
+        "year": Frequency.YEAR,
+        "week": Frequency.WEEK,
+    }[func.lower()]
+
+
+def _refs(expr: Expr) -> List[str]:
+    from .ast import cube_refs
+
+    return cube_refs(expr)
+
+
+def _dims(schema: CubeSchema) -> str:
+    return "(" + ", ".join(str(d) for d in schema.dimensions) + ")"
+
+
+def infer_expression_schema(
+    expr: Expr, schema: Schema, registry: Optional[OperatorRegistry] = None
+) -> Signature:
+    """Convenience: infer one expression's signature against a schema."""
+    analyzer = SemanticAnalyzer(schema, registry)
+    env = {c.name: c for c in schema}
+    return analyzer.infer(expr, env)

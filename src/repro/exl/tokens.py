@@ -1,0 +1,49 @@
+"""Token definitions for the EXL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    ASSIGN = ":="  # statement assignment
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    CARET = "^"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    NEWLINE = "NEWLINE"
+    KW_GROUP = "group"
+    KW_BY = "by"
+    KW_AS = "as"
+    EOF = "EOF"
+
+
+KEYWORDS = {
+    "group": TokenType.KW_GROUP,
+    "by": TokenType.KW_BY,
+    "as": TokenType.KW_AS,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: Any
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.type.name}({self.value!r})@{self.line}:{self.column}"

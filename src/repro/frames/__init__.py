@@ -1,0 +1,5 @@
+"""The dataframe engine backing the R translation target."""
+
+from .frame import DataFrame
+
+__all__ = ["DataFrame"]

@@ -1,0 +1,41 @@
+"""Extended schema mappings generated from EXL programs (Section 4).
+
+The pipeline is::
+
+    Program --normalize--> single-operator Program
+            --MappingGenerator--> SchemaMapping (one tgd per statement)
+            --simplify_mapping--> SchemaMapping (complex tgds, temps gone)
+
+The resulting mapping drives the chase (Section 4.2) and every backend
+translation (Section 5).
+"""
+
+from .dependencies import Atom, Egd, Tgd, TgdKind
+from .generator import MappingGenerator, generate_mapping
+from .mapping import SchemaMapping
+from .pretty import render_egd, render_mapping, render_tgd
+from .simplify import TEMP_PREFIX, simplify_mapping
+from .terms import AggTerm, Const, FuncApp, Term, Var, evaluate, substitute, term_vars
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "FuncApp",
+    "AggTerm",
+    "evaluate",
+    "substitute",
+    "term_vars",
+    "Atom",
+    "Tgd",
+    "TgdKind",
+    "Egd",
+    "SchemaMapping",
+    "MappingGenerator",
+    "generate_mapping",
+    "simplify_mapping",
+    "TEMP_PREFIX",
+    "render_tgd",
+    "render_egd",
+    "render_mapping",
+]

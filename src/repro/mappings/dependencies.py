@@ -1,0 +1,202 @@
+"""Dependencies: extended tgds and egds (Section 4.1).
+
+All tgds are *full* (no existential variables), so generated tuples
+contain constants only — the property Section 4.2 relies on for chase
+termination.  Four shapes arise:
+
+* ``COPY`` — the source-to-target tgds copying elementary cubes, and
+  pure copy statements;
+* ``TUPLE_LEVEL`` — scalar/vectorial/shift operators: each result tuple
+  comes from one lhs match;
+* ``AGGREGATION`` — group-by roll-ups: the rhs has group terms followed
+  by one :class:`AggTerm`;
+* ``TABLE_FUNCTION`` — whole-cube black boxes: following the paper's
+  tgd (4) the atoms carry *no variables*; the operator name and its
+  resolved parameters are attached to the tgd instead.
+
+The egds are exactly the functional dependencies *dimensions →
+measure* of each cube.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import MappingError
+from .terms import AggTerm, Const, FuncApp, Term, Var, term_vars
+
+__all__ = ["Atom", "TgdKind", "Tgd", "Egd"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(t1, …, tn)`` over terms.
+
+    For cubes the last term is the measure position.  Table-function
+    tgds use atoms with an empty term tuple (``GDP → GDPT(stl_T(GDP))``
+    has no variables).
+    """
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, relation: str, terms=()):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for term in self.terms:
+            out |= term_vars(term)
+        return out
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return self.relation
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+class TgdKind(enum.Enum):
+    COPY = "copy"
+    TUPLE_LEVEL = "tuple_level"
+    # vectorial with a default for missing tuples: defined on the UNION
+    # of the operands' dimension tuples (Section 3's default variant)
+    OUTER_TUPLE_LEVEL = "outer_tuple_level"
+    AGGREGATION = "aggregation"
+    TABLE_FUNCTION = "table_function"
+
+
+@dataclass(frozen=True)
+class Tgd:
+    """An extended, full tuple-generating dependency."""
+
+    lhs: Tuple[Atom, ...]
+    rhs: Atom
+    kind: TgdKind
+    # AGGREGATION: how many leading rhs terms are group keys (the last
+    # rhs term is the AggTerm).
+    group_arity: int = 0
+    # TABLE_FUNCTION: operator name and resolved scalar parameters.
+    table_function: Optional[str] = None
+    tf_params: Tuple[Tuple[str, Any], ...] = ()
+    # OUTER_TUPLE_LEVEL: arithmetic symbol and the default measure value
+    # used when one operand has no tuple for a dimension tuple.
+    outer_op: Optional[str] = None
+    outer_default: float = 0.0
+    # provenance: the EXL statement target this tgd computes.
+    label: str = ""
+
+    def __init__(
+        self,
+        lhs,
+        rhs: Atom,
+        kind: TgdKind,
+        group_arity: int = 0,
+        table_function: Optional[str] = None,
+        tf_params=(),
+        outer_op: Optional[str] = None,
+        outer_default: float = 0.0,
+        label: str = "",
+    ):
+        object.__setattr__(self, "lhs", tuple(lhs))
+        object.__setattr__(self, "rhs", rhs)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "group_arity", group_arity)
+        object.__setattr__(self, "table_function", table_function)
+        object.__setattr__(self, "tf_params", tuple(tf_params))
+        object.__setattr__(self, "outer_op", outer_op)
+        object.__setattr__(self, "outer_default", outer_default)
+        object.__setattr__(self, "label", label)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.lhs:
+            raise MappingError("a tgd needs at least one lhs atom")
+        if self.kind is TgdKind.TABLE_FUNCTION:
+            if self.table_function is None:
+                raise MappingError("table-function tgd without an operator name")
+            if any(a.terms for a in self.lhs) or self.rhs.terms:
+                raise MappingError(
+                    "table-function tgds carry no variables (paper tgd (4))"
+                )
+            return
+        # full tgds: every rhs variable must occur in the lhs
+        lhs_vars: FrozenSet[str] = frozenset()
+        for atom in self.lhs:
+            lhs_vars |= atom.variables()
+        dangling = self.rhs.variables() - lhs_vars
+        if dangling:
+            raise MappingError(
+                f"tgd is not full: rhs variables {sorted(dangling)} do not "
+                f"occur in the lhs"
+            )
+        if self.kind is TgdKind.OUTER_TUPLE_LEVEL:
+            if len(self.lhs) != 2:
+                raise MappingError("outer tuple-level tgds have two lhs atoms")
+            if self.outer_op is None:
+                raise MappingError("outer tuple-level tgd needs its operator symbol")
+        if self.kind is TgdKind.AGGREGATION:
+            if len(self.lhs) != 1:
+                raise MappingError("aggregation tgds have a single lhs atom")
+            if not self.rhs.terms or not isinstance(self.rhs.terms[-1], AggTerm):
+                raise MappingError(
+                    "aggregation tgd rhs must end with an aggregate term"
+                )
+            if self.group_arity != len(self.rhs.terms) - 1:
+                raise MappingError("group_arity inconsistent with rhs terms")
+        else:
+            if any(isinstance(t, AggTerm) for t in self.rhs.terms):
+                raise MappingError(
+                    f"{self.kind.value} tgd cannot contain aggregate terms"
+                )
+
+    @property
+    def target_relation(self) -> str:
+        return self.rhs.relation
+
+    @property
+    def source_relations(self) -> List[str]:
+        return [atom.relation for atom in self.lhs]
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.tf_params)
+
+    def __str__(self) -> str:
+        if self.kind is TgdKind.TABLE_FUNCTION:
+            operands = ", ".join(a.relation for a in self.lhs)
+            params = "".join(f", {k}={v}" for k, v in self.tf_params)
+            return (
+                f"{operands} -> {self.rhs.relation}"
+                f"({self.table_function}({operands}{params}))"
+            )
+        lhs = " AND ".join(str(a) for a in self.lhs)
+        if self.kind is TgdKind.OUTER_TUPLE_LEVEL:
+            return (
+                f"{lhs} -> {self.rhs}  [outer {self.outer_op}, "
+                f"default={self.outer_default}]"
+            )
+        return f"{lhs} -> {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Egd:
+    """The functionality egd of a cube:
+    ``F(x…, y1) AND F(x…, y2) -> y1 = y2``.
+    """
+
+    relation: str
+    n_dims: int
+
+    def __str__(self) -> str:
+        dims = ", ".join(f"x{i + 1}" for i in range(self.n_dims))
+        prefix = f"{dims}, " if dims else ""
+        return (
+            f"{self.relation}({prefix}y1) AND {self.relation}({prefix}y2) "
+            f"-> y1 = y2"
+        )

@@ -1,0 +1,102 @@
+"""Schema mappings ``M = (S, T, Σst, Σt)`` (Section 4.1).
+
+``S`` holds the elementary cubes, ``T`` all cubes (the paper renames
+copies ``F_S`` / ``F_T``; we keep one name per cube and record the
+copy tgds explicitly).  ``Σst`` are the copy tgds, ``Σt`` the ordered
+target tgds — the order is the EXL statement order, which the
+stratified chase follows — plus one functionality egd per target cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import MappingError
+from ..exl.operators import OperatorRegistry
+from ..model.schema import Schema
+from .dependencies import Egd, Tgd, TgdKind
+
+__all__ = ["SchemaMapping"]
+
+
+@dataclass
+class SchemaMapping:
+    """A generated schema mapping, ready for the chase or a backend."""
+
+    source: Schema
+    target: Schema
+    st_tgds: List[Tgd]
+    target_tgds: List[Tgd]
+    egds: List[Egd]
+    registry: OperatorRegistry
+
+    def __post_init__(self):
+        for tgd in self.st_tgds:
+            if tgd.kind is not TgdKind.COPY:
+                raise MappingError("Σst may only contain copy tgds")
+        targets = set()
+        for tgd in self.target_tgds:
+            if tgd.target_relation in targets:
+                raise MappingError(
+                    f"two tgds generate {tgd.target_relation}; cubes are "
+                    f"functional and defined once"
+                )
+            targets.add(tgd.target_relation)
+
+    # -- queries ------------------------------------------------------
+    def tgd_for(self, cube_name: str) -> Tgd:
+        """The target tgd computing ``cube_name``."""
+        for tgd in self.target_tgds:
+            if tgd.target_relation == cube_name:
+                return tgd
+        raise MappingError(f"no tgd generates cube {cube_name!r}")
+
+    def egd_for(self, cube_name: str) -> Egd:
+        for egd in self.egds:
+            if egd.relation == cube_name:
+                return egd
+        raise MappingError(f"no egd for cube {cube_name!r}")
+
+    @property
+    def derived_order(self) -> List[str]:
+        """Target cubes in tgd (= statement) order."""
+        return [tgd.target_relation for tgd in self.target_tgds]
+
+    def subset(self, cube_names: List[str]) -> "SchemaMapping":
+        """The mapping restricted to the tgds of the given derived cubes.
+
+        Used by the determination engine to hand each partition a
+        self-contained mapping.  Order is preserved.
+        """
+        wanted = set(cube_names)
+        tgds = [t for t in self.target_tgds if t.target_relation in wanted]
+        if len(tgds) != len(wanted):
+            missing = wanted - {t.target_relation for t in tgds}
+            raise MappingError(f"no tgds for cubes: {sorted(missing)}")
+        needed = set()
+        for tgd in tgds:
+            needed.update(tgd.source_relations)
+            needed.add(tgd.target_relation)
+        egds = [e for e in self.egds if e.relation in needed]
+        source = Schema(
+            (c for c in self.target if c.name in needed - wanted), "subset_source"
+        )
+        target = Schema((c for c in self.target if c.name in needed), "subset_target")
+        return SchemaMapping(source, target, [], tgds, egds, self.registry)
+
+    def describe(self) -> str:
+        """Paper-style listing of all dependencies."""
+        lines: List[str] = []
+        if self.st_tgds:
+            lines.append("-- Σst (copy tgds)")
+            lines.extend(f"  {t}" for t in self.st_tgds)
+        lines.append("-- Σt (target tgds, stratification order)")
+        for i, tgd in enumerate(self.target_tgds, start=1):
+            lines.append(f"  ({i}) {tgd}")
+        lines.append("-- egds (cube functionality)")
+        lines.extend(f"  {e}" for e in self.egds)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.target_tgds)

@@ -1,0 +1,61 @@
+"""Paper-style rendering of schema mappings.
+
+``str(tgd)`` uses plain ASCII; this module renders dependencies the way
+the paper typesets them — ``∧`` for conjunction, ``→`` for implication —
+and produces numbered listings like the one in the Overview section.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .dependencies import Egd, Tgd, TgdKind
+from .mapping import SchemaMapping
+
+__all__ = ["render_tgd", "render_egd", "render_mapping"]
+
+
+def render_tgd(tgd: Tgd, unicode: bool = True) -> str:
+    """One tgd in paper notation."""
+    conj = " ∧ " if unicode else " AND "
+    arrow = " → " if unicode else " -> "
+    if tgd.kind is TgdKind.TABLE_FUNCTION:
+        operands = ", ".join(a.relation for a in tgd.lhs)
+        params = "".join(f", {k}={v}" for k, v in tgd.tf_params)
+        return (
+            f"{operands}{arrow}{tgd.rhs.relation}"
+            f"({tgd.table_function}({operands}{params}))"
+        )
+    lhs = conj.join(str(a) for a in tgd.lhs)
+    rendered = f"{lhs}{arrow}{tgd.rhs}"
+    if tgd.kind is TgdKind.OUTER_TUPLE_LEVEL:
+        rendered += f"   [outer {tgd.outer_op}, default={tgd.outer_default}]"
+    return rendered
+
+
+def render_egd(egd: Egd, unicode: bool = True) -> str:
+    """One functionality egd in paper notation."""
+    conj = " ∧ " if unicode else " AND "
+    arrow = " → " if unicode else " -> "
+    dims = ", ".join(f"x{i + 1}" for i in range(egd.n_dims))
+    prefix = f"{dims}, " if dims else ""
+    return (
+        f"{egd.relation}({prefix}y1){conj}{egd.relation}({prefix}y2)"
+        f"{arrow}(y1 = y2)"
+    )
+
+
+def render_mapping(mapping: SchemaMapping, unicode: bool = True) -> str:
+    """The full mapping as a numbered, paper-style listing."""
+    lines: List[str] = []
+    if mapping.st_tgds:
+        lines.append("Σst:" if unicode else "St (copy tgds):")
+        for tgd in mapping.st_tgds:
+            lines.append(f"    {render_tgd(tgd, unicode)}")
+    lines.append("Σt:" if unicode else "Tt (target tgds):")
+    for i, tgd in enumerate(mapping.target_tgds, start=1):
+        lines.append(f"  ({i}) {render_tgd(tgd, unicode)}")
+    lines.append("egds:")
+    for egd in mapping.egds:
+        lines.append(f"    {render_egd(egd, unicode)}")
+    return "\n".join(lines)

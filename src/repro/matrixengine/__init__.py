@@ -1,0 +1,5 @@
+"""The matrix engine backing the Matlab translation target."""
+
+from .matrix import Matrix
+
+__all__ = ["Matrix"]

@@ -1,0 +1,48 @@
+"""The Matrix data model: cubes, time points, schemas, metadata catalog.
+
+This package reproduces the data model of Section 3 of the paper —
+statistical functions (*cubes*) over typed dimensions, with time series
+as the 1-dimensional time-indexed special case — plus the metadata
+catalog with historicity described in Section 6.
+"""
+
+from .catalog import CubeEntry, MetadataCatalog, VersionedStore
+from .cube import Cube, CubeSchema, Dimension
+from .schema import Schema
+from .time import (
+    Frequency,
+    TimePoint,
+    convert,
+    day,
+    month,
+    parse_timepoint,
+    quarter,
+    week,
+    year,
+)
+from .types import INTEGER, STRING, TIME, DimKind, DimType, validate_value
+
+__all__ = [
+    "Cube",
+    "CubeSchema",
+    "Dimension",
+    "Schema",
+    "Frequency",
+    "TimePoint",
+    "convert",
+    "day",
+    "week",
+    "month",
+    "quarter",
+    "year",
+    "parse_timepoint",
+    "DimKind",
+    "DimType",
+    "TIME",
+    "STRING",
+    "INTEGER",
+    "validate_value",
+    "MetadataCatalog",
+    "VersionedStore",
+    "CubeEntry",
+]

@@ -1,0 +1,163 @@
+"""The metadata catalog and historicity support.
+
+EXLEngine is *metadata driven* (Section 6): definitions of cubes —
+elementary or derived — and the EXL statements relating them guide the
+runtime behaviour.  :class:`MetadataCatalog` stores cube schemas, the
+statement texts defining derived cubes, technical metadata (preferred
+target systems), and a :class:`VersionedStore` of cube instances, which
+implements the *historicity* feature: cube data is time-dependent and
+every write produces a new version rather than destroying the past.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import CatalogError
+from .cube import Cube, CubeSchema
+from .schema import Schema
+
+__all__ = ["CubeKind", "CubeEntry", "VersionedStore", "MetadataCatalog"]
+
+
+ELEMENTARY = "elementary"
+DERIVED = "derived"
+
+
+@dataclass
+class CubeEntry:
+    """Catalog record for one cube."""
+
+    schema: CubeSchema
+    kind: str  # ELEMENTARY or DERIVED
+    statement_text: Optional[str] = None  # EXL text, for derived cubes
+    preferred_target: Optional[str] = None  # technical metadata
+
+
+class VersionedStore:
+    """Versioned cube storage: every put appends, never overwrites.
+
+    Versions are monotonically increasing integers assigned by the
+    store; ``get`` with no version returns the latest instance.
+    """
+
+    def __init__(self):
+        self._history: Dict[str, List[Tuple[int, Cube]]] = {}
+        self._clock = 0
+
+    def put(self, cube: Cube) -> int:
+        """Store a new version of the cube; returns the version number."""
+        self._clock += 1
+        self._history.setdefault(cube.schema.name, []).append((self._clock, cube.copy()))
+        return self._clock
+
+    def get(self, name: str, version: Optional[int] = None) -> Cube:
+        """Latest instance, or the newest one at or before ``version``."""
+        history = self._history.get(name)
+        if not history:
+            raise CatalogError(f"no stored data for cube {name!r}")
+        if version is None:
+            return history[-1][1]
+        candidates = [cube for v, cube in history if v <= version]
+        if not candidates:
+            raise CatalogError(f"cube {name!r} has no version at or before {version}")
+        return candidates[-1]
+
+    def has(self, name: str) -> bool:
+        return bool(self._history.get(name))
+
+    def versions(self, name: str) -> List[int]:
+        return [v for v, _ in self._history.get(name, [])]
+
+    def latest_version(self, name: str) -> int:
+        history = self._history.get(name)
+        if not history:
+            raise CatalogError(f"no stored data for cube {name!r}")
+        return history[-1][0]
+
+    @property
+    def clock(self) -> int:
+        """The most recently assigned version number."""
+        return self._clock
+
+    def names(self) -> List[str]:
+        return list(self._history)
+
+
+class MetadataCatalog:
+    """The central registry driving EXLEngine's runtime behaviour."""
+
+    def __init__(self):
+        self._entries: Dict[str, CubeEntry] = {}
+        self.store = VersionedStore()
+
+    # -- declarations -----------------------------------------------------
+    def declare_elementary(
+        self, schema: CubeSchema, preferred_target: Optional[str] = None
+    ) -> None:
+        """Declare an elementary cube: base data fed from outside."""
+        self._declare(CubeEntry(schema, ELEMENTARY, None, preferred_target))
+
+    def declare_derived(
+        self,
+        schema: CubeSchema,
+        statement_text: str,
+        preferred_target: Optional[str] = None,
+    ) -> None:
+        """Declare a derived cube, defined by an EXL statement."""
+        self._declare(CubeEntry(schema, DERIVED, statement_text, preferred_target))
+
+    def _declare(self, entry: CubeEntry) -> None:
+        if entry.schema.name in self._entries:
+            raise CatalogError(f"cube {entry.schema.name} already declared")
+        self._entries[entry.schema.name] = entry
+
+    # -- queries ------------------------------------------------------------
+    def entry(self, name: str) -> CubeEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CatalogError(f"unknown cube {name!r}") from None
+
+    def schema_of(self, name: str) -> CubeSchema:
+        return self.entry(name).schema
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def is_elementary(self, name: str) -> bool:
+        return self.entry(name).kind == ELEMENTARY
+
+    def is_derived(self, name: str) -> bool:
+        return self.entry(name).kind == DERIVED
+
+    @property
+    def elementary_names(self) -> List[str]:
+        return [n for n, e in self._entries.items() if e.kind == ELEMENTARY]
+
+    @property
+    def derived_names(self) -> List[str]:
+        return [n for n, e in self._entries.items() if e.kind == DERIVED]
+
+    def names(self) -> List[str]:
+        return list(self._entries)
+
+    def as_schema(self, name: str = "catalog") -> Schema:
+        """All declared cube schemas, as a :class:`Schema`."""
+        return Schema((e.schema for e in self._entries.values()), name)
+
+    # -- data ------------------------------------------------------------------
+    def load(self, cube: Cube) -> int:
+        """Store elementary cube data; derived cubes are written by runs."""
+        if cube.schema.name not in self._entries:
+            raise CatalogError(f"cube {cube.schema.name} is not declared")
+        return self.store.put(cube)
+
+    def data(self, name: str, version: Optional[int] = None) -> Cube:
+        if name not in self._entries:
+            raise CatalogError(f"cube {name!r} is not declared")
+        return self.store.get(name, version)
+
+    def has_data(self, name: str) -> bool:
+        return self.store.has(name)

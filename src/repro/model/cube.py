@@ -1,0 +1,279 @@
+"""Cubes: the central data structure of the Matrix model.
+
+A cube is a *partial function* ``F : X1 × … × Xn -> Y`` (Section 3).
+:class:`CubeSchema` describes the intension (name, dimensions, measure)
+and :class:`Cube` holds an extension: a sparse mapping from dimension
+tuples to a numeric measure.  The functional nature of cubes — at most
+one measure per dimension tuple — is the invariant the paper's egds
+enforce; :meth:`Cube.set` guards it at the model level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import CubeError, SchemaError
+from .time import Frequency, TimePoint
+from .types import DimKind, DimType, validate_value
+
+__all__ = ["Dimension", "CubeSchema", "Cube"]
+
+DimTuple = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A named dimension with a typed domain."""
+
+    name: str
+    dtype: DimType
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid dimension name: {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.dtype}"
+
+
+@dataclass(frozen=True)
+class CubeSchema:
+    """The intension of a cube: its name, dimensions and measure name."""
+
+    name: str
+    dimensions: Tuple[Dimension, ...]
+    measure: str = "value"
+
+    def __init__(self, name: str, dimensions: Sequence[Dimension], measure: str = "value"):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "dimensions", tuple(dimensions))
+        object.__setattr__(self, "measure", measure)
+        self.__post_init__()
+
+    def __post_init__(self):
+        if not self.name or not all(c.isalnum() or c == "_" for c in self.name):
+            raise SchemaError(f"invalid cube name: {self.name!r}")
+        names = [d.name for d in self.dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names in cube {self.name}: {names}")
+        if self.measure in names:
+            raise SchemaError(
+                f"measure name {self.measure!r} collides with a dimension in {self.name}"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of dimensions."""
+        return len(self.dimensions)
+
+    @property
+    def dim_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self.dimensions)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Dimension names followed by the measure name (the relational view)."""
+        return self.dim_names + (self.measure,)
+
+    def dimension(self, name: str) -> Dimension:
+        for d in self.dimensions:
+            if d.name == name:
+                return d
+        raise SchemaError(f"cube {self.name} has no dimension {name!r}")
+
+    def dim_index(self, name: str) -> int:
+        for i, d in enumerate(self.dimensions):
+            if d.name == name:
+                return i
+        raise SchemaError(f"cube {self.name} has no dimension {name!r}")
+
+    @property
+    def time_dimensions(self) -> Tuple[Dimension, ...]:
+        return tuple(d for d in self.dimensions if d.dtype.is_time)
+
+    @property
+    def is_time_series(self) -> bool:
+        """A cube whose only dimension is a time dimension (Section 3)."""
+        return self.arity == 1 and self.dimensions[0].dtype.is_time
+
+    def sole_time_dimension(self) -> Dimension:
+        """The unique time dimension; raises if there is not exactly one."""
+        times = self.time_dimensions
+        if len(times) != 1:
+            raise SchemaError(
+                f"cube {self.name} has {len(times)} time dimensions, expected exactly 1"
+            )
+        return times[0]
+
+    def same_dimensions(self, other: "CubeSchema") -> bool:
+        """Same dimension names and types, in the same order.
+
+        This is the compatibility condition for vectorial operators.
+        """
+        return self.dimensions == other.dimensions
+
+    def renamed(self, new_name: str) -> "CubeSchema":
+        return CubeSchema(new_name, self.dimensions, self.measure)
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(d) for d in self.dimensions)
+        return f"{self.name}({dims}) -> {self.measure}"
+
+
+class Cube:
+    """A sparse cube instance: dimension tuples mapped to measure values.
+
+    The mapping enforces functionality: setting a different measure for
+    an existing dimension tuple raises :class:`CubeError` unless
+    ``overwrite=True`` is requested.
+    """
+
+    def __init__(self, schema: CubeSchema, data: Optional[Dict[DimTuple, float]] = None):
+        self.schema = schema
+        self._data: Dict[DimTuple, float] = {}
+        if data:
+            for key, value in data.items():
+                self.set(key, value)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_rows(cls, schema: CubeSchema, rows: Iterable[Sequence[Any]]) -> "Cube":
+        """Build a cube from relational rows ``(x1, …, xn, y)``."""
+        cube = cls(schema)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != schema.arity + 1:
+                raise CubeError(
+                    f"row {row!r} has {len(row)} fields, cube {schema.name} "
+                    f"expects {schema.arity + 1}"
+                )
+            cube.set(row[:-1], row[-1])
+        return cube
+
+    @classmethod
+    def from_series(
+        cls, schema: CubeSchema, start: TimePoint, values: Sequence[float]
+    ) -> "Cube":
+        """Build a time-series cube from consecutive values starting at ``start``."""
+        if not schema.is_time_series:
+            raise CubeError(f"cube {schema.name} is not a time series")
+        cube = cls(schema)
+        for i, value in enumerate(values):
+            cube.set((start + i,), value)
+        return cube
+
+    # -- mapping protocol ------------------------------------------------
+    def set(self, key: Sequence[Any], value: float, overwrite: bool = False) -> None:
+        """Associate measure ``value`` with dimension tuple ``key``."""
+        key = tuple(key)
+        if len(key) != self.schema.arity:
+            raise CubeError(
+                f"dimension tuple {key!r} has arity {len(key)}, cube "
+                f"{self.schema.name} expects {self.schema.arity}"
+            )
+        for dim, component in zip(self.schema.dimensions, key):
+            validate_value(dim.dtype, component, f"dimension {dim.name} of {self.schema.name}")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise CubeError(
+                f"measure for {self.schema.name}{key!r} must be numeric, got {value!r}"
+            )
+        if not overwrite and key in self._data and self._data[key] != value:
+            raise CubeError(
+                f"functional violation on {self.schema.name}{key!r}: "
+                f"{self._data[key]!r} vs {value!r}"
+            )
+        self._data[key] = float(value)
+
+    def get(self, key: Sequence[Any], default: Any = None) -> Any:
+        return self._data.get(tuple(key), default)
+
+    def __getitem__(self, key) -> float:
+        if not isinstance(key, tuple):
+            key = (key,)
+        try:
+            return self._data[key]
+        except KeyError:
+            raise CubeError(f"cube {self.schema.name} undefined on {key!r}") from None
+
+    def __contains__(self, key) -> bool:
+        if not isinstance(key, tuple):
+            key = (key,)
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[DimTuple]:
+        return iter(self._data)
+
+    def items(self) -> Iterable[Tuple[DimTuple, float]]:
+        return self._data.items()
+
+    def keys(self) -> Iterable[DimTuple]:
+        return self._data.keys()
+
+    def values(self) -> Iterable[float]:
+        return self._data.values()
+
+    # -- relational view --------------------------------------------------
+    def to_rows(self) -> List[Tuple[Any, ...]]:
+        """The cube as sorted relational rows ``(x1, …, xn, y)``."""
+        return [key + (value,) for key, value in sorted(self._data.items(), key=_row_key)]
+
+    def to_series(self) -> Tuple[List[TimePoint], List[float]]:
+        """Time-ordered (points, values) lists; only for time series."""
+        if not self.schema.is_time_series:
+            raise CubeError(f"cube {self.schema.name} is not a time series")
+        points = sorted(self._data, key=lambda k: k[0].ordinal)
+        return [p[0] for p in points], [self._data[p] for p in points]
+
+    # -- comparison ---------------------------------------------------------
+    def approx_equals(self, other: "Cube", rel_tol: float = 1e-9, abs_tol: float = 1e-9) -> bool:
+        """Same dimension tuples and numerically close measures."""
+        if set(self._data) != set(other._data):
+            return False
+        return all(
+            math.isclose(value, other._data[key], rel_tol=rel_tol, abs_tol=abs_tol)
+            for key, value in self._data.items()
+        )
+
+    def diff(self, other: "Cube", rel_tol: float = 1e-9, abs_tol: float = 1e-9) -> List[str]:
+        """Human-readable differences against ``other`` (for test messages)."""
+        problems = []
+        for key in sorted(set(self._data) - set(other._data), key=_sort_key):
+            problems.append(f"only in left: {key!r} -> {self._data[key]}")
+        for key in sorted(set(other._data) - set(self._data), key=_sort_key):
+            problems.append(f"only in right: {key!r} -> {other._data[key]}")
+        for key in self._data.keys() & other._data.keys():
+            left, right = self._data[key], other._data[key]
+            if not math.isclose(left, right, rel_tol=rel_tol, abs_tol=abs_tol):
+                problems.append(f"measure differs on {key!r}: {left} vs {right}")
+        return problems
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Cube):
+            return NotImplemented
+        return self.schema == other.schema and self._data == other._data
+
+    def copy(self) -> "Cube":
+        clone = Cube(self.schema)
+        clone._data = dict(self._data)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Cube({self.schema.name}, {len(self)} tuples)"
+
+
+def _sort_key(key: DimTuple):
+    return tuple(
+        (0, component.freq.value, component.ordinal)
+        if isinstance(component, TimePoint)
+        else (1, str(component), 0)
+        for component in key
+    )
+
+
+def _row_key(item):
+    return _sort_key(item[0])

@@ -1,0 +1,132 @@
+"""CSV serialization of cubes and textual dimension-type specs.
+
+Cubes exchange with the outside world as CSV files whose header is the
+dimension names followed by the measure name; time values use the
+canonical :class:`TimePoint` string forms (``2020-03-15``, ``2020M03``,
+``2020Q1``, ``2020``, ``2020W07``).
+
+Dimension types also have a compact textual spec used by project files
+and the CLI: ``time:D`` / ``time:W`` / ``time:M`` / ``time:Q`` /
+``time:A`` for time axes, ``string`` and ``integer`` for the rest.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, List, Sequence, TextIO, Union
+
+from ..errors import ModelError
+from .cube import Cube, CubeSchema, Dimension
+from .time import Frequency, parse_timepoint
+from .types import INTEGER, STRING, TIME, DimKind, DimType
+
+__all__ = [
+    "parse_dimtype",
+    "format_dimtype",
+    "write_cube_csv",
+    "read_cube_csv",
+    "cube_to_csv_text",
+    "cube_from_csv_text",
+]
+
+
+def parse_dimtype(spec: str) -> DimType:
+    """Parse a textual dimension type: ``time:<freq>``, ``string``, ``integer``."""
+    text = spec.strip().lower()
+    if text == "string":
+        return STRING
+    if text in ("integer", "int"):
+        return INTEGER
+    if text.startswith("time:"):
+        code = text.split(":", 1)[1].upper()
+        for freq in Frequency:
+            if freq.value == code or freq.name == code:
+                return TIME(freq)
+        raise ModelError(f"unknown time frequency {code!r} in {spec!r}")
+    raise ModelError(
+        f"unknown dimension type {spec!r} (expected time:<freq>, string, integer)"
+    )
+
+
+def format_dimtype(dtype: DimType) -> str:
+    """The textual spec of a dimension type (inverse of :func:`parse_dimtype`)."""
+    if dtype.kind is DimKind.TIME:
+        return f"time:{dtype.freq.value}"
+    return dtype.kind.value
+
+
+def _parse_value(dtype: DimType, text: str) -> Any:
+    if dtype.kind is DimKind.TIME:
+        return parse_timepoint(text)
+    if dtype.kind is DimKind.INTEGER:
+        return int(text)
+    return text
+
+
+def write_cube_csv(cube: Cube, destination: Union[str, Path, TextIO]) -> None:
+    """Write a cube to CSV (header = dimensions then measure)."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            _write(cube, handle)
+    else:
+        _write(cube, destination)
+
+
+def _write(cube: Cube, handle: TextIO) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(cube.schema.columns)
+    for row in cube.to_rows():
+        writer.writerow([str(v) if not isinstance(v, float) else repr(v) for v in row[:-1]] + [repr(row[-1])])
+
+
+def read_cube_csv(schema: CubeSchema, source: Union[str, Path, TextIO]) -> Cube:
+    """Read a cube from CSV; the header must match the schema's columns."""
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return _read(schema, handle)
+    return _read(schema, source)
+
+
+def _read(schema: CubeSchema, handle: TextIO) -> Cube:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ModelError(f"empty CSV for cube {schema.name}") from None
+    expected = list(schema.columns)
+    if [h.strip() for h in header] != expected:
+        raise ModelError(
+            f"CSV header {header} does not match cube columns {expected}"
+        )
+    cube = Cube(schema)
+    for line_number, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != len(expected):
+            raise ModelError(
+                f"line {line_number}: {len(row)} fields for {len(expected)} columns"
+            )
+        try:
+            key = tuple(
+                _parse_value(dim.dtype, cell.strip())
+                for dim, cell in zip(schema.dimensions, row)
+            )
+            value = float(row[-1])
+        except (ValueError, ModelError) as exc:
+            raise ModelError(f"line {line_number}: {exc}") from exc
+        cube.set(key, value)
+    return cube
+
+
+def cube_to_csv_text(cube: Cube) -> str:
+    """The cube's CSV serialization as a string."""
+    buffer = io.StringIO()
+    write_cube_csv(cube, buffer)
+    return buffer.getvalue()
+
+
+def cube_from_csv_text(schema: CubeSchema, text: str) -> Cube:
+    """Parse a cube from CSV text."""
+    return read_cube_csv(schema, io.StringIO(text))

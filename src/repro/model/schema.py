@@ -1,0 +1,74 @@
+"""Schemas: named collections of cube schemas.
+
+The schema-mapping machinery works over a *source schema* (elementary
+cubes) and a *target schema* (all cubes, renamed copies included), as
+in Section 4.1.  :class:`Schema` is the container both sides use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..errors import SchemaError
+from .cube import CubeSchema
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An ordered, name-indexed collection of :class:`CubeSchema`."""
+
+    def __init__(self, cubes: Iterable[CubeSchema] = (), name: str = "schema"):
+        self.name = name
+        self._cubes: Dict[str, CubeSchema] = {}
+        for cube in cubes:
+            self.add(cube)
+
+    def add(self, cube: CubeSchema) -> None:
+        """Register a cube schema; duplicate names are rejected."""
+        if cube.name in self._cubes:
+            raise SchemaError(f"cube {cube.name} already declared in schema {self.name}")
+        self._cubes[cube.name] = cube
+
+    def replace(self, cube: CubeSchema) -> None:
+        """Register a cube schema, overwriting an existing declaration."""
+        self._cubes[cube.name] = cube
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cubes
+
+    def __getitem__(self, name: str) -> CubeSchema:
+        try:
+            return self._cubes[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name} has no cube {name!r}") from None
+
+    def get(self, name: str) -> Optional[CubeSchema]:
+        return self._cubes.get(name)
+
+    def __iter__(self) -> Iterator[CubeSchema]:
+        return iter(self._cubes.values())
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._cubes)
+
+    def copy(self, name: Optional[str] = None) -> "Schema":
+        return Schema(self._cubes.values(), name or self.name)
+
+    def merged(self, other: "Schema", name: str = "merged") -> "Schema":
+        """A new schema with the cubes of both; name clashes are rejected."""
+        result = self.copy(name)
+        for cube in other:
+            result.add(cube)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name}, cubes={self.names})"
+
+    def describe(self) -> str:
+        """Multi-line human-readable listing."""
+        return "\n".join(str(c) for c in self)

@@ -1,0 +1,83 @@
+"""Dimension and measure types for the Matrix data model.
+
+The paper keeps types mostly implicit ("for the sake of simplicity, we
+will mainly ignore types") but distinguishes *time* dimensions from
+ordinary ones, and assumes all measures are numeric.  We make that
+explicit: every dimension carries a :class:`DimType`, which the EXL
+semantic checker and the backends use to validate values and to decide
+where time operators (shift, frequency conversion) may apply.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import SchemaError
+from .time import Frequency, TimePoint
+
+__all__ = ["DimKind", "DimType", "TIME", "STRING", "INTEGER", "validate_value"]
+
+
+class DimKind(enum.Enum):
+    """The broad class of a dimension domain."""
+
+    TIME = "time"
+    STRING = "string"
+    INTEGER = "integer"
+
+
+@dataclass(frozen=True)
+class DimType:
+    """The domain of a dimension.
+
+    ``freq`` is only meaningful for TIME dimensions; it pins the
+    sampling frequency of the axis (a daily dimension holds DAY points
+    only), which is what makes frequency-conversion operators well
+    defined.
+    """
+
+    kind: DimKind
+    freq: Optional[Frequency] = None
+
+    def __post_init__(self):
+        if self.kind is DimKind.TIME and self.freq is None:
+            raise SchemaError("a TIME dimension type needs a frequency")
+        if self.kind is not DimKind.TIME and self.freq is not None:
+            raise SchemaError(f"{self.kind.value} dimension cannot have a frequency")
+
+    @property
+    def is_time(self) -> bool:
+        return self.kind is DimKind.TIME
+
+    def __str__(self) -> str:
+        if self.is_time:
+            return f"time[{self.freq.value}]"
+        return self.kind.value
+
+    def accepts(self, value: Any) -> bool:
+        """Whether ``value`` is a member of this domain."""
+        if self.kind is DimKind.TIME:
+            return isinstance(value, TimePoint) and value.freq is self.freq
+        if self.kind is DimKind.STRING:
+            return isinstance(value, str)
+        return isinstance(value, int) and not isinstance(value, bool)
+
+
+def TIME(freq: Frequency) -> DimType:
+    """A time dimension type at the given frequency."""
+    return DimType(DimKind.TIME, freq)
+
+
+STRING = DimType(DimKind.STRING)
+INTEGER = DimType(DimKind.INTEGER)
+
+
+def validate_value(dtype: DimType, value: Any, context: str = "") -> None:
+    """Raise :class:`SchemaError` unless ``value`` belongs to ``dtype``."""
+    if not dtype.accepts(value):
+        where = f" in {context}" if context else ""
+        raise SchemaError(
+            f"value {value!r} does not belong to dimension type {dtype}{where}"
+        )

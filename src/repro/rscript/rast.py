@@ -1,0 +1,149 @@
+"""AST for the R subset the R backend emits.
+
+Covers assignments (including the rename and NA-replacement idioms),
+``$`` / ``[[ ]]`` / ``[ , ]`` indexing, infix arithmetic and ``==``,
+and function calls with named arguments — everything found in the
+scripts :func:`repro.backends.render_r` produces, and enough of R to
+write small frame programs by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "RExpr",
+    "RNum",
+    "RStr",
+    "RBool",
+    "RNull",
+    "RName",
+    "RUnary",
+    "RBinary",
+    "RDollar",
+    "RIndex2",
+    "RIndex",
+    "RCall",
+    "RArg",
+    "RAssign",
+    "RScript",
+]
+
+
+class RExpr:
+    """Base class of R expression nodes."""
+
+
+@dataclass(frozen=True)
+class RNum(RExpr):
+    value: float
+
+
+@dataclass(frozen=True)
+class RStr(RExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class RBool(RExpr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class RNull(RExpr):
+    pass
+
+
+@dataclass(frozen=True)
+class RName(RExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class RUnary(RExpr):
+    op: str  # '-'
+    operand: RExpr
+
+
+@dataclass(frozen=True)
+class RBinary(RExpr):
+    op: str  # + - * / ^ ==
+    left: RExpr
+    right: RExpr
+
+
+@dataclass(frozen=True)
+class RDollar(RExpr):
+    """``x$name`` — component extraction."""
+
+    obj: RExpr
+    name: str
+
+
+@dataclass(frozen=True)
+class RIndex2(RExpr):
+    """``x[[expr]]`` — single-element / column extraction."""
+
+    obj: RExpr
+    index: RExpr
+
+
+@dataclass(frozen=True)
+class RIndex(RExpr):
+    """``x[i]``, ``x[i, ]``, ``x[, j]`` or ``x[i, j]``.
+
+    ``rows`` / ``cols`` are None when the slot is empty; ``matrix_form``
+    distinguishes ``x[i]`` (single subscript) from ``x[i, ]``.
+    """
+
+    obj: RExpr
+    rows: Optional[RExpr]
+    cols: Optional[RExpr]
+    matrix_form: bool  # True when a comma was present
+
+
+@dataclass(frozen=True)
+class RArg:
+    """A call argument, optionally named (``by=c("q")``)."""
+
+    value: RExpr
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RCall(RExpr):
+    func: str
+    args: Tuple[RArg, ...]
+
+    def __init__(self, func, args=()):
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "args", tuple(args))
+
+    def positional(self) -> Tuple[RExpr, ...]:
+        return tuple(a.value for a in self.args if a.name is None)
+
+    def named(self) -> dict:
+        return {a.name: a.value for a in self.args if a.name is not None}
+
+
+@dataclass(frozen=True)
+class RAssign:
+    """``target <- value`` (targets may be complex index expressions)."""
+
+    target: RExpr
+    value: RExpr
+
+
+@dataclass(frozen=True)
+class RScript:
+    statements: Tuple[Any, ...]  # RAssign or bare RExpr
+
+    def __init__(self, statements):
+        object.__setattr__(self, "statements", tuple(statements))
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self):
+        return len(self.statements)

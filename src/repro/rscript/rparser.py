@@ -1,0 +1,301 @@
+"""Lexer and parser for the R subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from ..errors import ReproError
+from .rast import (
+    RArg,
+    RAssign,
+    RBinary,
+    RBool,
+    RCall,
+    RDollar,
+    RExpr,
+    RIndex,
+    RIndex2,
+    RName,
+    RNull,
+    RNum,
+    RScript,
+    RStr,
+    RUnary,
+)
+
+__all__ = ["RSyntaxError", "parse_r"]
+
+
+class RSyntaxError(ReproError):
+    """Invalid R-subset source."""
+
+
+@dataclass(frozen=True)
+class _Tok:
+    type: str  # IDENT NUM STR PUNCT NEWLINE EOF
+    value: Any
+
+
+_PUNCT = ["<-", "[[", "]]", "==", "$", "[", "]", "(", ")", ",", "=", "+", "-", "*", "/", "^"]
+
+
+def _tokenize(source: str) -> List[_Tok]:
+    tokens: List[_Tok] = []
+    i = 0
+    n = len(source)
+    depth = 0
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "\n" or ch == ";":
+            if depth == 0 and tokens and tokens[-1].type != "NEWLINE":
+                tokens.append(_Tok("NEWLINE", ch))
+            i += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in "\"'":
+            quote = ch
+            i += 1
+            chars = []
+            while i < n and source[i] != quote:
+                chars.append(source[i])
+                i += 1
+            if i >= n:
+                raise RSyntaxError("unterminated string literal")
+            i += 1
+            tokens.append(_Tok("STR", "".join(chars)))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            while i < n and (source[i].isdigit() or source[i] in ".eE+-"):
+                # stop at '+'/'-' not preceded by e/E
+                if source[i] in "+-" and source[i - 1] not in "eE":
+                    break
+                i += 1
+            tokens.append(_Tok("NUM", float(source[start:i])))
+            continue
+        if ch.isalpha() or ch in "._":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] in "._"):
+                i += 1
+            word = source[start:i]
+            if word == "TRUE":
+                tokens.append(_Tok("BOOL", True))
+            elif word == "FALSE":
+                tokens.append(_Tok("BOOL", False))
+            elif word == "NULL":
+                tokens.append(_Tok("NULLKW", None))
+            else:
+                tokens.append(_Tok("IDENT", word))
+            continue
+        if ch == "`":
+            # backtick-quoted name
+            i += 1
+            start = i
+            while i < n and source[i] != "`":
+                i += 1
+            if i >= n:
+                raise RSyntaxError("unterminated backtick name")
+            tokens.append(_Tok("IDENT", source[start:i]))
+            i += 1
+            continue
+        matched = False
+        for punct in _PUNCT:
+            if source.startswith(punct, i):
+                if punct in ("(", "[", "[["):
+                    depth += 1
+                elif punct in (")", "]", "]]"):
+                    depth = max(0, depth - (2 if punct == "]]" else 1))
+                if punct == "[[":
+                    depth += 1  # counts as two opens
+                tokens.append(_Tok("PUNCT", punct))
+                i += len(punct)
+                matched = True
+                break
+        if not matched:
+            raise RSyntaxError(f"unexpected character {ch!r} at {i}")
+    if tokens and tokens[-1].type != "NEWLINE":
+        tokens.append(_Tok("NEWLINE", "\n"))
+    tokens.append(_Tok("EOF", None))
+    return tokens
+
+
+class _RParser:
+    def __init__(self, tokens: List[_Tok]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> _Tok:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Tok:
+        token = self._tokens[self._pos]
+        if token.type != "EOF":
+            self._pos += 1
+        return token
+
+    def _accept(self, punct: str) -> bool:
+        token = self._peek()
+        if token.type == "PUNCT" and token.value == punct:
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, punct: str) -> None:
+        if not self._accept(punct):
+            raise RSyntaxError(
+                f"expected {punct!r}, found {self._peek().value!r}"
+            )
+
+    def _skip_newlines(self) -> None:
+        while self._peek().type == "NEWLINE":
+            self._advance()
+
+    # -- grammar -----------------------------------------------------------
+    def parse_script(self) -> RScript:
+        statements = []
+        self._skip_newlines()
+        while self._peek().type != "EOF":
+            statements.append(self._statement())
+            self._skip_newlines()
+        return RScript(statements)
+
+    def _statement(self):
+        expr = self._expr()
+        if self._accept("<-"):
+            value = self._expr()
+            return RAssign(expr, value)
+        return expr
+
+    def _expr(self) -> RExpr:
+        return self._comparison()
+
+    def _comparison(self) -> RExpr:
+        left = self._additive()
+        if self._accept("=="):
+            return RBinary("==", left, self._additive())
+        return left
+
+    def _additive(self) -> RExpr:
+        left = self._multiplicative()
+        while True:
+            if self._accept("+"):
+                left = RBinary("+", left, self._multiplicative())
+            elif self._accept("-"):
+                left = RBinary("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> RExpr:
+        left = self._unary()
+        while True:
+            if self._accept("*"):
+                left = RBinary("*", left, self._unary())
+            elif self._accept("/"):
+                left = RBinary("/", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> RExpr:
+        if self._accept("-"):
+            return RUnary("-", self._unary())
+        return self._power()
+
+    def _power(self) -> RExpr:
+        base = self._postfix()
+        if self._accept("^"):
+            return RBinary("^", base, self._unary())
+        return base
+
+    def _postfix(self) -> RExpr:
+        expr = self._primary()
+        while True:
+            if self._accept("$"):
+                token = self._advance()
+                if token.type != "IDENT":
+                    raise RSyntaxError("expected a name after $")
+                expr = RDollar(expr, token.value)
+            elif self._accept("[["):
+                index = self._expr()
+                self._expect("]]")
+                expr = RIndex2(expr, index)
+            elif self._accept("["):
+                expr = self._bracket_index(expr)
+            else:
+                return expr
+
+    def _bracket_index(self, obj: RExpr) -> RIndex:
+        rows: Optional[RExpr] = None
+        cols: Optional[RExpr] = None
+        matrix_form = False
+        if not self._at_punct(",") and not self._at_punct("]"):
+            rows = self._expr()
+        if self._accept(","):
+            matrix_form = True
+            if not self._at_punct("]"):
+                cols = self._expr()
+        self._expect("]")
+        return RIndex(obj, rows, cols, matrix_form)
+
+    def _at_punct(self, punct: str) -> bool:
+        token = self._peek()
+        return token.type == "PUNCT" and token.value == punct
+
+    def _primary(self) -> RExpr:
+        token = self._peek()
+        if token.type == "NUM":
+            self._advance()
+            return RNum(token.value)
+        if token.type == "STR":
+            self._advance()
+            return RStr(token.value)
+        if token.type == "BOOL":
+            self._advance()
+            return RBool(token.value)
+        if token.type == "NULLKW":
+            self._advance()
+            return RNull()
+        if self._accept("("):
+            inner = self._expr()
+            self._expect(")")
+            return inner
+        if token.type == "IDENT":
+            self._advance()
+            if self._accept("("):
+                return self._call(token.value)
+            return RName(token.value)
+        raise RSyntaxError(f"unexpected token {token.value!r}")
+
+    def _call(self, func: str) -> RCall:
+        args: List[RArg] = []
+        if not self._at_punct(")"):
+            while True:
+                args.append(self._arg())
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        return RCall(func, args)
+
+    def _arg(self) -> RArg:
+        token = self._peek()
+        lookahead = self._tokens[self._pos + 1]
+        if (
+            token.type == "IDENT"
+            and lookahead.type == "PUNCT"
+            and lookahead.value == "="
+        ):
+            self._advance()
+            self._advance()
+            return RArg(self._expr(), token.value)
+        return RArg(self._expr())
+
+
+def parse_r(source: str) -> RScript:
+    """Parse R-subset source into a script AST."""
+    return _RParser(_tokenize(source)).parse_script()

@@ -1,0 +1,30 @@
+"""A from-scratch mini relational engine (the DBMS target of Section 5.1).
+
+Supports the dialect the SQL backend emits: CREATE TABLE/VIEW, INSERT
+(VALUES and SELECT), SELECT with joins, WHERE, GROUP BY aggregation,
+tabular functions in FROM, ORDER BY/LIMIT/DISTINCT, DELETE and DROP,
+with user-definable scalar/aggregate/tabular functions and a native
+TIME column type.
+"""
+
+from .database import Database
+from .executor import QueryResult, SelectExecutor
+from .functions import FunctionRegistry, TabularFunction, default_functions
+from .parser import parse_sql, parse_sql_script
+from .table import Column, Table
+from .values import SqlType, sql_repr
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "SelectExecutor",
+    "FunctionRegistry",
+    "TabularFunction",
+    "default_functions",
+    "parse_sql",
+    "parse_sql_script",
+    "Column",
+    "Table",
+    "SqlType",
+    "sql_repr",
+]

@@ -1,0 +1,79 @@
+"""SQL value model and column types.
+
+The engine supports four column types.  ``TIME`` stores
+:class:`~repro.model.time.TimePoint` values natively — the statistical
+add-on role that commercial systems fill with DATE columns plus
+calendar functions — so generated SQL can shift and convert time
+dimensions without lossy encoding.  ``NULL`` is represented by Python
+``None`` with SQL three-valued comparison semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from ..errors import SqlExecutionError
+from ..model.time import TimePoint
+
+__all__ = ["SqlType", "check_type", "sql_repr"]
+
+
+class SqlType(enum.Enum):
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    TIME = "TIME"
+
+    @classmethod
+    def parse(cls, name: str) -> "SqlType":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise SqlExecutionError(f"unknown column type {name!r}") from None
+
+
+def check_type(sql_type: SqlType, value: Any, context: str = "") -> Any:
+    """Validate (and mildly coerce) a value against a column type.
+
+    INTEGER accepts whole floats; REAL accepts ints.  ``None`` (NULL)
+    is always accepted.
+    """
+    if value is None:
+        return None
+    where = f" in {context}" if context else ""
+    if sql_type is SqlType.INTEGER:
+        if isinstance(value, bool):
+            raise SqlExecutionError(f"boolean is not INTEGER{where}")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value == int(value):
+            return int(value)
+        raise SqlExecutionError(f"{value!r} is not INTEGER{where}")
+    if sql_type is SqlType.REAL:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SqlExecutionError(f"{value!r} is not REAL{where}")
+        return float(value)
+    if sql_type is SqlType.TEXT:
+        if not isinstance(value, str):
+            raise SqlExecutionError(f"{value!r} is not TEXT{where}")
+        return value
+    if sql_type is SqlType.TIME:
+        if not isinstance(value, TimePoint):
+            raise SqlExecutionError(f"{value!r} is not TIME{where}")
+        return value
+    raise SqlExecutionError(f"unhandled type {sql_type}")
+
+
+def sql_repr(value: Any) -> str:
+    """Render a value as an SQL literal (for generated scripts)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, TimePoint):
+        return f"TIME '{value}'"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,49 @@
+"""Statistical operator implementations shared by every executor.
+
+This package replaces the statistical capabilities the paper borrows
+from R and Matlab (seasonal decomposition, regression, smoothing,
+aggregations), per the substitution rule in DESIGN.md §6.
+"""
+
+from .aggregates import AGGREGATES, aggregate_names, get_aggregate
+from .decomposition import (
+    Decomposition,
+    classical_decompose,
+    stl_decompose,
+    stl_remainder,
+    stl_seasonal,
+    stl_trend,
+)
+from .regression import LinearFit, fitted_line, ols, residuals
+from .series_ops import (
+    cumsum,
+    first_difference,
+    index_to_base,
+    interpolate_gaps,
+    standardize,
+)
+from .smoothing import centered_moving_average, loess, moving_average
+
+__all__ = [
+    "AGGREGATES",
+    "get_aggregate",
+    "aggregate_names",
+    "Decomposition",
+    "classical_decompose",
+    "stl_decompose",
+    "stl_trend",
+    "stl_seasonal",
+    "stl_remainder",
+    "LinearFit",
+    "ols",
+    "fitted_line",
+    "residuals",
+    "cumsum",
+    "standardize",
+    "first_difference",
+    "interpolate_gaps",
+    "index_to_base",
+    "moving_average",
+    "centered_moving_average",
+    "loess",
+]

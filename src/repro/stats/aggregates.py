@@ -1,0 +1,122 @@
+"""Aggregation functions over bags of measure values.
+
+These back EXL's summarization operators (``sum``, ``avg``, ``median``,
+``stddev`` …, Section 3) and are shared by every executor: the chase
+applies them directly, the SQL engine exposes them as aggregate
+functions, the dataframe engine uses them in group-by, and the ETL
+engine in its aggregation step.  All operate on *bags* — repeated
+elements are meaningful, as the paper stresses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import StatsError
+
+__all__ = ["AGGREGATES", "get_aggregate", "aggregate_names"]
+
+
+def _require_nonempty(values: Sequence[float], name: str) -> None:
+    if not values:
+        raise StatsError(f"aggregate {name}() applied to an empty bag")
+
+
+def agg_sum(values: Sequence[float]) -> float:
+    """Sum of the bag; the paper's tgd (3) aggregation."""
+    _require_nonempty(values, "sum")
+    return float(sum(values))
+
+
+def agg_avg(values: Sequence[float]) -> float:
+    """Arithmetic mean; used in tgd (1) for the quarterly population."""
+    _require_nonempty(values, "avg")
+    return float(sum(values)) / len(values)
+
+
+def agg_min(values: Sequence[float]) -> float:
+    _require_nonempty(values, "min")
+    return float(min(values))
+
+
+def agg_max(values: Sequence[float]) -> float:
+    _require_nonempty(values, "max")
+    return float(max(values))
+
+
+def agg_count(values: Sequence[float]) -> float:
+    return float(len(values))
+
+
+def agg_median(values: Sequence[float]) -> float:
+    """Median with midpoint interpolation for even-sized bags."""
+    _require_nonempty(values, "median")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def agg_var(values: Sequence[float]) -> float:
+    """Population variance (denominator n)."""
+    _require_nonempty(values, "var")
+    mean = agg_avg(values)
+    return sum((v - mean) ** 2 for v in values) / len(values)
+
+
+def agg_stddev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    return math.sqrt(agg_var(values))
+
+
+def agg_product(values: Sequence[float]) -> float:
+    _require_nonempty(values, "product")
+    result = 1.0
+    for v in values:
+        result *= v
+    return result
+
+
+def agg_range(values: Sequence[float]) -> float:
+    """max - min of the bag."""
+    _require_nonempty(values, "range")
+    return float(max(values) - min(values))
+
+
+def agg_geomean(values: Sequence[float]) -> float:
+    """Geometric mean; requires strictly positive values."""
+    _require_nonempty(values, "geomean")
+    if any(v <= 0 for v in values):
+        raise StatsError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+AGGREGATES: Dict[str, Callable[[Sequence[float]], float]] = {
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "mean": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+    "count": agg_count,
+    "median": agg_median,
+    "var": agg_var,
+    "stddev": agg_stddev,
+    "product": agg_product,
+    "range": agg_range,
+    "geomean": agg_geomean,
+}
+
+
+def get_aggregate(name: str) -> Callable[[Sequence[float]], float]:
+    """Look up an aggregation function by (case-insensitive) name."""
+    try:
+        return AGGREGATES[name.lower()]
+    except KeyError:
+        raise StatsError(f"unknown aggregate function {name!r}") from None
+
+
+def aggregate_names() -> List[str]:
+    return sorted(AGGREGATES)

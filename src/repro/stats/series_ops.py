@@ -1,0 +1,78 @@
+"""Whole-series helper operators used by EXL black-box functions.
+
+These act on ordered value lists (the values of a time series in time
+order) and are the implementations behind EXL table functions such as
+``cumsum``, ``standardize``, ``diff`` and ``interpolate``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..errors import StatsError
+
+__all__ = ["cumsum", "standardize", "first_difference", "interpolate_gaps", "index_to_base"]
+
+
+def cumsum(values: Sequence[float]) -> List[float]:
+    """Running sum of the series."""
+    out: List[float] = []
+    total = 0.0
+    for v in values:
+        total += v
+        out.append(total)
+    return out
+
+
+def standardize(values: Sequence[float]) -> List[float]:
+    """Z-scores: (v - mean) / stddev.  Constant series raise."""
+    if not values:
+        return []
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    if var == 0:
+        raise StatsError("cannot standardize a constant series")
+    sd = math.sqrt(var)
+    return [(v - mean) / sd for v in values]
+
+
+def first_difference(values: Sequence[float]) -> List[float]:
+    """v[i] - v[i-1]; one element shorter than the input."""
+    return [b - a for a, b in zip(values, values[1:])]
+
+
+def interpolate_gaps(values: Sequence[Optional[float]]) -> List[float]:
+    """Linear interpolation of interior ``None`` gaps.
+
+    Leading/trailing gaps are filled with the nearest known value.
+    An all-``None`` series raises.
+    """
+    known = [(i, v) for i, v in enumerate(values) if v is not None]
+    if not known:
+        raise StatsError("cannot interpolate a series with no known values")
+    out = list(values)
+    first_i, first_v = known[0]
+    for i in range(first_i):
+        out[i] = first_v
+    last_i, last_v = known[-1]
+    for i in range(last_i + 1, len(out)):
+        out[i] = last_v
+    for (i0, v0), (i1, v1) in zip(known, known[1:]):
+        for i in range(i0 + 1, i1):
+            frac = (i - i0) / (i1 - i0)
+            out[i] = v0 + frac * (v1 - v0)
+    return [float(v) for v in out]
+
+
+def index_to_base(values: Sequence[float], base_position: int = 0) -> List[float]:
+    """Rebase the series so the value at ``base_position`` becomes 100."""
+    if not values:
+        return []
+    if not 0 <= base_position < len(values):
+        raise StatsError(f"base position {base_position} out of range")
+    base = values[base_position]
+    if base == 0:
+        raise StatsError("cannot rebase on a zero value")
+    return [100.0 * v / base for v in values]

@@ -1,0 +1,32 @@
+"""Synthetic workloads: data generators and canned EXL programs."""
+
+from .datagen import (
+    DEFAULT_REGIONS,
+    per_capita_panel,
+    population_panel,
+    random_cube,
+    seasonal_series,
+    series_cube,
+)
+from .programs import (
+    Workload,
+    employment_example,
+    gdp_example,
+    price_index_example,
+)
+from .randprog import RandomProgramGenerator, random_workload
+
+__all__ = [
+    "seasonal_series",
+    "series_cube",
+    "population_panel",
+    "per_capita_panel",
+    "random_cube",
+    "DEFAULT_REGIONS",
+    "Workload",
+    "gdp_example",
+    "price_index_example",
+    "employment_example",
+    "RandomProgramGenerator",
+    "random_workload",
+]

@@ -1,0 +1,163 @@
+"""Canned EXL programs and their synthetic input data.
+
+:func:`gdp_example` is the paper's Section 2 program verbatim —
+percentage change of the GDP trend from population and per-capita
+data.  The other workloads exercise further operator mixes and are
+used by examples, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..model.cube import Cube, CubeSchema, Dimension
+from ..model.schema import Schema
+from ..model.time import Frequency, day, month, quarter
+from ..model.types import STRING, TIME
+from . import datagen
+
+__all__ = ["Workload", "gdp_example", "price_index_example", "employment_example"]
+
+
+@dataclass
+class Workload:
+    """A ready-to-run statistical program: schema + EXL source + data."""
+
+    name: str
+    schema: Schema
+    source: str
+    data: Dict[str, Cube]
+
+    @property
+    def cubes(self) -> Dict[str, Cube]:
+        return self.data
+
+
+GDP_PROGRAM = """\
+# Section 2 of the paper: percentage change of the GDP trend.
+PQR := avg(PDR, group by quarter(d) as q, r)
+RGDP := PQR * RGDPPC
+GDP := sum(RGDP, group by q)
+GDPT := stl_t(GDP)
+PCHNG := (GDPT - shift(GDPT, 1)) * 100 / GDPT
+"""
+
+
+def gdp_example(
+    regions: Sequence[str] = datagen.DEFAULT_REGIONS,
+    n_quarters: int = 24,
+    seed: int = 7,
+) -> Workload:
+    """The paper's GDP program with synthetic population/per-capita data.
+
+    ``n_quarters`` quarters of data are generated; the population panel
+    covers the same span in days (approximated as 90 days per quarter so
+    each quarter is populated).
+    """
+    start_q = quarter(2010, 1)
+    pdr = datagen.population_panel(
+        regions, start=day(2010, 1, 1), n_days=n_quarters * 91, seed=seed
+    )
+    rgdppc = datagen.per_capita_panel(
+        regions, start=start_q, n_quarters=n_quarters, seed=seed + 1
+    )
+    schema = Schema([pdr.schema, rgdppc.schema], "gdp_source")
+    return Workload("gdp", schema, GDP_PROGRAM, {"PDR": pdr, "RGDPPC": rgdppc})
+
+
+PRICE_INDEX_PROGRAM = """\
+# A consumer price basket: weighted item prices -> monthly index,
+# yearly average inflation.
+WPRICE := PRICE * WEIGHT
+BASKET := sum(WPRICE, group by m)
+BASKET_MA := ma(BASKET, 3)
+YAVG := avg(BASKET, group by year(m) as y)
+LBASKET := ln(BASKET)
+INFL := (BASKET - shift(BASKET, 1)) * 100 / shift(BASKET, 1)
+"""
+
+
+def price_index_example(
+    items: Sequence[str] = ("food", "energy", "rent", "transport"),
+    n_months: int = 48,
+    seed: int = 11,
+) -> Workload:
+    """Price-basket workload: vectorial product, sums, ma, ln, shifts."""
+    start_m = month(2012, 1)
+    price_schema = CubeSchema(
+        "PRICE",
+        [Dimension("m", TIME(Frequency.MONTH)), Dimension("item", STRING)],
+        "v",
+    )
+    weight_schema = CubeSchema(
+        "WEIGHT",
+        [Dimension("m", TIME(Frequency.MONTH)), Dimension("item", STRING)],
+        "w",
+    )
+    price = Cube(price_schema)
+    weight = Cube(weight_schema)
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    for j, item in enumerate(items):
+        base = 50.0 + 20.0 * j
+        for i in range(n_months):
+            level = base * (1.0 + 0.002 * i) + rng.normal(0.0, 0.5)
+            price.set((start_m + i, item), float(level))
+            weight.set((start_m + i, item), float(0.1 + 0.05 * j))
+    schema = Schema([price_schema, weight_schema], "prices_source")
+    return Workload(
+        "price_index",
+        schema,
+        PRICE_INDEX_PROGRAM,
+        {"PRICE": price, "WEIGHT": weight},
+    )
+
+
+EMPLOYMENT_PROGRAM = """\
+# Employment statistics: monthly employment and labour force by region,
+# the national unemployment rate and its deseasonalized trend.
+EMP_N := sum(EMP, group by m)
+LF_N := sum(LF, group by m)
+UNEMP := LF_N - EMP_N
+URATE := UNEMP * 100 / LF_N
+URATE_T := stl_t(URATE)
+URATE_Q := avg(URATE, group by quarter(m) as q)
+"""
+
+
+def employment_example(
+    regions: Sequence[str] = datagen.DEFAULT_REGIONS,
+    n_months: int = 60,
+    seed: int = 23,
+) -> Workload:
+    """Employment workload: aggregations, vectorial ops, stl, requarterly."""
+    start_m = month(2011, 1)
+    emp_schema = CubeSchema(
+        "EMP",
+        [Dimension("m", TIME(Frequency.MONTH)), Dimension("r", STRING)],
+        "n",
+    )
+    lf_schema = CubeSchema(
+        "LF",
+        [Dimension("m", TIME(Frequency.MONTH)), Dimension("r", STRING)],
+        "n",
+    )
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    emp = Cube(emp_schema)
+    lf = Cube(lf_schema)
+    for j, region in enumerate(regions):
+        base = 400_000.0 * (1 + 0.4 * j)
+        for i in range(n_months):
+            seasonal = 0.02 * np.sin(2 * np.pi * i / 12 + j)
+            employed = base * (1.0 + 0.001 * i + seasonal) + rng.normal(0, 800)
+            force = employed * (1.0 + 0.08 + 0.01 * np.sin(2 * np.pi * i / 12))
+            emp.set((start_m + i, region), float(employed))
+            lf.set((start_m + i, region), float(force))
+    schema = Schema([emp_schema, lf_schema], "employment_source")
+    return Workload(
+        "employment", schema, EMPLOYMENT_PROGRAM, {"EMP": emp, "LF": lf}
+    )

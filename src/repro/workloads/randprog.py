@@ -1,0 +1,231 @@
+"""Random EXL program generation for stress and property testing.
+
+Generates valid programs over randomly shaped elementary cubes, biased
+toward the operator mix of real statistical programs (arithmetic,
+shifts, aggregations, a few whole-series operators).  Programs are
+always acyclic and type-correct by construction, so every generated
+program must run identically on every backend — the property the
+equivalence tests check.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.cube import Cube, CubeSchema, Dimension
+from ..model.schema import Schema
+from ..model.time import Frequency, month, quarter
+from ..model.types import STRING, TIME
+from .datagen import random_cube
+from .programs import Workload
+
+__all__ = ["RandomProgramGenerator", "random_workload"]
+
+_REGION_DOMAIN = ["north", "centre", "south", "islands", "abroad"]
+
+
+@dataclass
+class _CubeInfo:
+    name: str
+    schema: CubeSchema
+
+
+class RandomProgramGenerator:
+    """Generates one random workload per :meth:`generate` call."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_elementary: int = 2,
+        n_statements: int = 6,
+        n_periods: int = 16,
+        n_regions: int = 3,
+        allow_table_functions: bool = True,
+    ):
+        self.rng = random.Random(seed)
+        self.n_elementary = max(1, n_elementary)
+        self.n_statements = max(1, n_statements)
+        self.n_periods = max(8, n_periods)
+        self.n_regions = max(1, min(n_regions, len(_REGION_DOMAIN)))
+        self.allow_table_functions = allow_table_functions
+
+    # -- public ----------------------------------------------------------
+    def generate(self) -> Workload:
+        elementary = self._elementary_cubes()
+        statements: List[str] = []
+        derived: List[_CubeInfo] = []
+        available: List[_CubeInfo] = list(elementary)
+        for i in range(self.n_statements):
+            name = f"D{i + 1}"
+            line, schema = self._statement(name, available)
+            statements.append(line)
+            info = _CubeInfo(name, schema)
+            derived.append(info)
+            available.append(info)
+        schema = Schema((c.schema for c in elementary), "random_source")
+        data = {
+            c.name: self._data_for(c.schema, seed=self.rng.randrange(1 << 30))
+            for c in elementary
+        }
+        return Workload("random", schema, "\n".join(statements), data)
+
+    # -- elementary cubes -------------------------------------------------------
+    def _elementary_cubes(self) -> List[_CubeInfo]:
+        cubes = []
+        # always at least one panel cube (time + region) so vectorial and
+        # aggregation operators have something to chew on
+        base = CubeSchema(
+            "E1",
+            [
+                Dimension("m", TIME(Frequency.MONTH)),
+                Dimension("r", STRING),
+            ],
+            "v",
+        )
+        cubes.append(_CubeInfo("E1", base))
+        for i in range(1, self.n_elementary):
+            name = f"E{i + 1}"
+            if self.rng.random() < 0.5:
+                schema = CubeSchema(name, base.dimensions, "v")
+            else:
+                schema = CubeSchema(
+                    name, [Dimension("m", TIME(Frequency.MONTH))], "v"
+                )
+            cubes.append(_CubeInfo(name, schema))
+        return cubes
+
+    def _data_for(self, schema: CubeSchema, seed: int) -> Cube:
+        domains: Dict[str, list] = {}
+        start = month(2015, 1)
+        for dim in schema.dimensions:
+            if dim.dtype.is_time:
+                domains[dim.name] = [start + i for i in range(self.n_periods)]
+            else:
+                domains[dim.name] = _REGION_DOMAIN[: self.n_regions]
+        return random_cube(schema, domains, seed)
+
+    # -- statements -------------------------------------------------------------
+    def _statement(
+        self, name: str, available: List[_CubeInfo]
+    ) -> Tuple[str, CubeSchema]:
+        choices = ["scalar", "scalar", "vectorial", "aggregate", "shift", "outer"]
+        if self.allow_table_functions:
+            choices.append("table_function")
+        kind = self.rng.choice(choices)
+        if kind == "vectorial":
+            pairs = self._same_dim_pairs(available)
+            if pairs:
+                left, right = self.rng.choice(pairs)
+                op = self.rng.choice(["+", "-", "*"])
+                return f"{name} := {left.name} {op} {right.name}", left.schema.renamed(name)
+            kind = "scalar"
+        if kind == "outer":
+            pairs = self._same_dim_pairs(available)
+            if pairs:
+                left, right = self.rng.choice(pairs)
+                op = self.rng.choice(["osum", "odiff", "oprod"])
+                return (
+                    f"{name} := {op}({left.name}, {right.name})",
+                    left.schema.renamed(name),
+                )
+            kind = "scalar"
+        if kind == "aggregate":
+            panels = [c for c in available if c.schema.arity >= 2]
+            if panels:
+                return self._aggregate(name, self.rng.choice(panels))
+            kind = "scalar"
+        if kind == "shift":
+            series = [c for c in available if c.schema.is_time_series]
+            if series:
+                operand = self.rng.choice(series)
+                periods = self.rng.choice([1, 2, -1])
+                return (
+                    f"{name} := shift({operand.name}, {periods})",
+                    operand.schema.renamed(name),
+                )
+            kind = "scalar"
+        if kind == "table_function":
+            series = [c for c in available if c.schema.is_time_series]
+            if series:
+                operand = self.rng.choice(series)
+                func = self.rng.choice(["ma", "cumsum", "fitted", "detrend"])
+                call = (
+                    f"ma({operand.name}, {self.rng.choice([2, 3, 4])})"
+                    if func == "ma"
+                    else f"{func}({operand.name})"
+                )
+                return f"{name} := {call}", operand.schema.renamed(name)
+            kind = "scalar"
+        # scalar fallback always succeeds
+        operand = self.rng.choice(available)
+        template = self.rng.choice(
+            [
+                "{n} := {c} * {k}",
+                "{n} := {c} + {k}",
+                "{n} := {c} / {k}",
+                "{n} := abs({c})",
+                "{n} := {c} * {k} + {c2}",
+            ]
+        )
+        k = self.rng.choice([2, 3, 5, 10, 0.5])
+        if "{c2}" in template:
+            same = [c for c in self._same_dim_partners(operand, available)]
+            if same:
+                partner = self.rng.choice(same)
+                line = template.format(n=name, c=operand.name, k=k, c2=partner.name)
+                return line, operand.schema.renamed(name)
+            template = "{n} := {c} * {k}"
+        line = template.format(n=name, c=operand.name, k=k)
+        return line, operand.schema.renamed(name)
+
+    def _aggregate(
+        self, name: str, operand: _CubeInfo
+    ) -> Tuple[str, CubeSchema]:
+        schema = operand.schema
+        func = self.rng.choice(["sum", "avg", "min", "max", "median"])
+        time_dim = schema.time_dimensions[0]
+        mode = self.rng.random()
+        if mode < 0.4:
+            # aggregate away the non-time dimensions
+            line = f"{name} := {func}({schema.name}, group by {time_dim.name})"
+            result = CubeSchema(name, [time_dim], schema.measure)
+        elif mode < 0.7 and time_dim.dtype.freq is Frequency.MONTH:
+            # change the sampling frequency
+            line = (
+                f"{name} := {func}({schema.name}, group by "
+                f"quarter({time_dim.name}) as q)"
+            )
+            result = CubeSchema(
+                name, [Dimension("q", TIME(Frequency.QUARTER))], schema.measure
+            )
+        else:
+            other = [d for d in schema.dimensions if d is not time_dim][0]
+            line = f"{name} := {func}({schema.name}, group by {other.name})"
+            result = CubeSchema(name, [other], schema.measure)
+        return line, result
+
+    def _same_dim_pairs(
+        self, available: List[_CubeInfo]
+    ) -> List[Tuple[_CubeInfo, _CubeInfo]]:
+        pairs = []
+        for i, left in enumerate(available):
+            for right in available[i:]:
+                if left.schema.dimensions == right.schema.dimensions:
+                    pairs.append((left, right))
+        return pairs
+
+    def _same_dim_partners(
+        self, cube: _CubeInfo, available: List[_CubeInfo]
+    ) -> List[_CubeInfo]:
+        return [
+            c
+            for c in available
+            if c.schema.dimensions == cube.schema.dimensions
+        ]
+
+
+def random_workload(seed: int = 0, **kwargs) -> Workload:
+    """One random workload (see :class:`RandomProgramGenerator`)."""
+    return RandomProgramGenerator(seed=seed, **kwargs).generate()

@@ -1,0 +1,92 @@
+"""Shared fixtures: the paper's schemas, small workloads, backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import all_backends
+from repro.exl import Program, default_registry
+from repro.mappings import generate_mapping, simplify_mapping
+from repro.model import (
+    STRING,
+    TIME,
+    Cube,
+    CubeSchema,
+    Dimension,
+    Frequency,
+    Schema,
+    day,
+    quarter,
+)
+from repro.workloads import gdp_example
+
+GDP_SOURCE = """\
+PQR := avg(PDR, group by quarter(d) as q, r)
+RGDP := PQR * RGDPPC
+GDP := sum(RGDP, group by q)
+GDPT := stl_t(GDP)
+PCHNG := (GDPT - shift(GDPT, 1)) * 100 / GDPT
+"""
+
+
+@pytest.fixture
+def gdp_schema() -> Schema:
+    """The elementary schema of the paper's Section 2 example."""
+    return Schema(
+        [
+            CubeSchema(
+                "PDR",
+                [Dimension("d", TIME(Frequency.DAY)), Dimension("r", STRING)],
+                "p",
+            ),
+            CubeSchema(
+                "RGDPPC",
+                [Dimension("q", TIME(Frequency.QUARTER)), Dimension("r", STRING)],
+                "g",
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def gdp_program(gdp_schema) -> Program:
+    return Program.compile(GDP_SOURCE, gdp_schema)
+
+
+@pytest.fixture
+def gdp_mapping(gdp_program):
+    return generate_mapping(gdp_program)
+
+
+@pytest.fixture
+def gdp_simplified(gdp_mapping):
+    return simplify_mapping(gdp_mapping)
+
+
+@pytest.fixture(scope="session")
+def gdp_workload():
+    """A small but realistic instance of the GDP example (session-cached)."""
+    return gdp_example(n_quarters=10, regions=("north", "south"), seed=3)
+
+
+@pytest.fixture
+def backends():
+    return all_backends()
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def ts_schema() -> CubeSchema:
+    """A quarterly time-series cube schema."""
+    return CubeSchema("S", [Dimension("q", TIME(Frequency.QUARTER))], "v")
+
+
+@pytest.fixture
+def ts_cube(ts_schema) -> Cube:
+    return Cube.from_series(
+        ts_schema, quarter(2020, 1), [float(v) for v in range(1, 13)]
+    )

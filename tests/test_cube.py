@@ -1,0 +1,211 @@
+"""Tests for cubes, schemas and dimension types."""
+
+import pytest
+
+from repro.errors import CubeError, SchemaError
+from repro.model import (
+    INTEGER,
+    STRING,
+    TIME,
+    Cube,
+    CubeSchema,
+    Dimension,
+    Frequency,
+    quarter,
+    validate_value,
+)
+
+
+@pytest.fixture
+def panel_schema():
+    return CubeSchema(
+        "PANEL",
+        [Dimension("q", TIME(Frequency.QUARTER)), Dimension("r", STRING)],
+        "v",
+    )
+
+
+class TestDimTypes:
+    def test_time_needs_frequency(self):
+        from repro.model.types import DimKind, DimType
+
+        with pytest.raises(SchemaError):
+            DimType(DimKind.TIME)
+
+    def test_non_time_rejects_frequency(self):
+        from repro.model.types import DimKind, DimType
+
+        with pytest.raises(SchemaError):
+            DimType(DimKind.STRING, Frequency.DAY)
+
+    def test_time_accepts_matching_frequency_only(self):
+        t = TIME(Frequency.QUARTER)
+        assert t.accepts(quarter(2020, 1))
+        from repro.model import month
+
+        assert not t.accepts(month(2020, 1))
+
+    def test_string_accepts(self):
+        assert STRING.accepts("north")
+        assert not STRING.accepts(3)
+
+    def test_integer_rejects_bool(self):
+        assert INTEGER.accepts(7)
+        assert not INTEGER.accepts(True)
+
+    def test_validate_value_raises_with_context(self):
+        with pytest.raises(SchemaError, match="my context"):
+            validate_value(STRING, 42, "my context")
+
+
+class TestCubeSchema:
+    def test_columns_are_dims_plus_measure(self, panel_schema):
+        assert panel_schema.columns == ("q", "r", "v")
+
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema("C", [Dimension("x", STRING), Dimension("x", STRING)])
+
+    def test_measure_colliding_with_dim_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema("C", [Dimension("v", STRING)], "v")
+
+    def test_invalid_cube_name(self):
+        with pytest.raises(SchemaError):
+            CubeSchema("bad name", [Dimension("x", STRING)])
+
+    def test_dim_index_and_lookup(self, panel_schema):
+        assert panel_schema.dim_index("r") == 1
+        assert panel_schema.dimension("q").dtype.is_time
+        with pytest.raises(SchemaError):
+            panel_schema.dimension("zzz")
+
+    def test_time_series_detection(self):
+        series = CubeSchema("S", [Dimension("q", TIME(Frequency.QUARTER))])
+        assert series.is_time_series
+        assert series.sole_time_dimension().name == "q"
+
+    def test_panel_is_not_time_series(self, panel_schema):
+        assert not panel_schema.is_time_series
+
+    def test_sole_time_dimension_requires_exactly_one(self):
+        no_time = CubeSchema("C", [Dimension("r", STRING)])
+        with pytest.raises(SchemaError):
+            no_time.sole_time_dimension()
+
+    def test_same_dimensions(self, panel_schema):
+        other = CubeSchema("OTHER", panel_schema.dimensions, "w")
+        assert panel_schema.same_dimensions(other)
+
+    def test_renamed_keeps_structure(self, panel_schema):
+        renamed = panel_schema.renamed("NEW")
+        assert renamed.name == "NEW"
+        assert renamed.dimensions == panel_schema.dimensions
+
+
+class TestCubeInstance:
+    def test_set_and_get(self, panel_schema):
+        cube = Cube(panel_schema)
+        cube.set((quarter(2020, 1), "north"), 10.0)
+        assert cube[(quarter(2020, 1), "north")] == 10.0
+        assert len(cube) == 1
+
+    def test_functional_violation_raises(self, panel_schema):
+        cube = Cube(panel_schema)
+        key = (quarter(2020, 1), "north")
+        cube.set(key, 10.0)
+        with pytest.raises(CubeError, match="functional violation"):
+            cube.set(key, 11.0)
+
+    def test_overwrite_allowed_when_requested(self, panel_schema):
+        cube = Cube(panel_schema)
+        key = (quarter(2020, 1), "north")
+        cube.set(key, 10.0)
+        cube.set(key, 11.0, overwrite=True)
+        assert cube[key] == 11.0
+
+    def test_same_value_reinsert_is_fine(self, panel_schema):
+        cube = Cube(panel_schema)
+        key = (quarter(2020, 1), "north")
+        cube.set(key, 10.0)
+        cube.set(key, 10.0)
+        assert len(cube) == 1
+
+    def test_arity_mismatch_raises(self, panel_schema):
+        cube = Cube(panel_schema)
+        with pytest.raises(CubeError):
+            cube.set((quarter(2020, 1),), 1.0)
+
+    def test_type_mismatch_raises(self, panel_schema):
+        cube = Cube(panel_schema)
+        with pytest.raises(SchemaError):
+            cube.set(("north", quarter(2020, 1)), 1.0)
+
+    def test_non_numeric_measure_raises(self, panel_schema):
+        cube = Cube(panel_schema)
+        with pytest.raises(CubeError):
+            cube.set((quarter(2020, 1), "north"), "big")
+
+    def test_missing_key_raises(self, panel_schema):
+        cube = Cube(panel_schema)
+        with pytest.raises(CubeError, match="undefined"):
+            _ = cube[(quarter(2020, 1), "north")]
+
+    def test_get_default(self, panel_schema):
+        cube = Cube(panel_schema)
+        assert cube.get((quarter(2020, 1), "north"), -1) == -1
+
+    def test_from_rows_roundtrip(self, panel_schema):
+        rows = [
+            (quarter(2020, 1), "north", 1.0),
+            (quarter(2020, 1), "south", 2.0),
+            (quarter(2020, 2), "north", 3.0),
+        ]
+        cube = Cube.from_rows(panel_schema, rows)
+        assert cube.to_rows() == sorted(rows, key=lambda r: (r[0].ordinal, r[1]))
+
+    def test_from_rows_wrong_width(self, panel_schema):
+        with pytest.raises(CubeError):
+            Cube.from_rows(panel_schema, [(quarter(2020, 1), 1.0)])
+
+    def test_from_series_and_to_series(self, ts_schema):
+        cube = Cube.from_series(ts_schema, quarter(2020, 1), [1.0, 2.0, 3.0])
+        points, values = cube.to_series()
+        assert values == [1.0, 2.0, 3.0]
+        assert points[0] == quarter(2020, 1)
+        assert points[-1] == quarter(2020, 3)
+
+    def test_from_series_requires_time_series(self, panel_schema):
+        with pytest.raises(CubeError):
+            Cube.from_series(panel_schema, quarter(2020, 1), [1.0])
+
+    def test_to_series_requires_time_series(self, panel_schema):
+        cube = Cube(panel_schema)
+        with pytest.raises(CubeError):
+            cube.to_series()
+
+    def test_approx_equals_tolerates_noise(self, ts_schema):
+        a = Cube.from_series(ts_schema, quarter(2020, 1), [1.0, 2.0])
+        b = Cube.from_series(ts_schema, quarter(2020, 1), [1.0 + 1e-12, 2.0])
+        assert a.approx_equals(b)
+
+    def test_approx_equals_detects_missing_keys(self, ts_schema):
+        a = Cube.from_series(ts_schema, quarter(2020, 1), [1.0, 2.0])
+        b = Cube.from_series(ts_schema, quarter(2020, 1), [1.0])
+        assert not a.approx_equals(b)
+        assert any("only in left" in d for d in a.diff(b))
+
+    def test_diff_reports_value_differences(self, ts_schema):
+        a = Cube.from_series(ts_schema, quarter(2020, 1), [1.0])
+        b = Cube.from_series(ts_schema, quarter(2020, 1), [2.0])
+        assert any("measure differs" in d for d in a.diff(b))
+
+    def test_copy_is_independent(self, ts_schema):
+        a = Cube.from_series(ts_schema, quarter(2020, 1), [1.0])
+        b = a.copy()
+        b.set((quarter(2020, 2),), 9.0)
+        assert len(a) == 1 and len(b) == 2
+
+    def test_contains_with_scalar_key(self, ts_schema):
+        cube = Cube.from_series(ts_schema, quarter(2020, 1), [1.0])
+        assert quarter(2020, 1) in cube

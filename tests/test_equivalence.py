@@ -1,0 +1,100 @@
+"""Integration tests for the paper's central theorem: the chase solution
+equals the EXL program output equals every backend's output (Section 4.2
++ Section 5)."""
+
+import pytest
+
+from repro.exl import Program
+from repro.mappings import generate_mapping, simplify_mapping
+from repro.workloads import (
+    employment_example,
+    gdp_example,
+    price_index_example,
+    random_workload,
+)
+
+BACKEND_NAMES = ("sql", "r", "rscript", "matlab", "mscript", "etl")
+
+
+def _run_all(workload, backends):
+    program = Program.compile(workload.source, workload.schema)
+    mapping = generate_mapping(program)
+    reference = backends["chase"].run_mapping(mapping, workload.data)
+    outputs = {
+        name: backends[name].run_mapping(mapping, workload.data)
+        for name in BACKEND_NAMES
+    }
+    return reference, outputs
+
+
+def _assert_equal(reference, outputs):
+    for backend_name, cubes in outputs.items():
+        for cube_name, expected in reference.items():
+            actual = cubes[cube_name]
+            assert expected.approx_equals(actual, rel_tol=1e-8), (
+                f"{backend_name}/{cube_name}: "
+                + "; ".join(expected.diff(actual)[:3])
+            )
+
+
+class TestPaperWorkload:
+    def test_gdp_program_all_backends(self, gdp_workload, backends):
+        reference, outputs = _run_all(gdp_workload, backends)
+        _assert_equal(reference, outputs)
+
+    def test_gdp_pchng_values_are_percent_changes(self, gdp_workload, backends):
+        reference, _ = _run_all(gdp_workload, backends)
+        trend = reference["GDPT"]
+        change = reference["PCHNG"]
+        points, values = trend.to_series()
+        for previous, current in zip(points, points[1:]):
+            expected = (trend[(current,)] - trend[(previous,)]) * 100 / trend[(current,)]
+            assert change[(current,)] == pytest.approx(expected)
+
+    def test_gdp_aggregation_consistency(self, gdp_workload, backends):
+        # GDP(q) must equal the sum over regions of RGDP(q, r)
+        reference, _ = _run_all(gdp_workload, backends)
+        rgdp, gdp = reference["RGDP"], reference["GDP"]
+        totals = {}
+        for (q, _r), value in rgdp.items():
+            totals[q] = totals.get(q, 0.0) + value
+        for (q,), value in gdp.items():
+            assert value == pytest.approx(totals[q])
+
+
+class TestOtherWorkloads:
+    def test_price_index_program(self, backends):
+        workload = price_index_example(n_months=30, seed=5)
+        reference, outputs = _run_all(workload, backends)
+        _assert_equal(reference, outputs)
+
+    def test_employment_program(self, backends):
+        workload = employment_example(n_months=36, seed=9)
+        reference, outputs = _run_all(workload, backends)
+        _assert_equal(reference, outputs)
+
+
+class TestRandomPrograms:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_workloads_equivalent(self, seed, backends):
+        workload = random_workload(
+            seed, n_statements=6, n_periods=12, n_regions=2
+        )
+        reference, outputs = _run_all(workload, backends)
+        _assert_equal(reference, outputs)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_simplified_mapping_equivalent_to_plain(self, seed, backends):
+        workload = random_workload(
+            seed + 100, n_statements=5, n_periods=10, allow_table_functions=False
+        )
+        program = Program.compile(workload.source, workload.schema)
+        plain = generate_mapping(program)
+        simplified = simplify_mapping(plain)
+        chase = backends["chase"]
+        reference = chase.run_mapping(plain, workload.data)
+        simplified_out = chase.run_mapping(simplified, workload.data)
+        sql_out = backends["sql"].run_mapping(simplified, workload.data)
+        for name, expected in reference.items():
+            assert expected.approx_equals(simplified_out[name], rel_tol=1e-8)
+            assert expected.approx_equals(sql_out[name], rel_tol=1e-8)

@@ -1,0 +1,230 @@
+"""Tests for the streaming ETL engine."""
+
+import pytest
+
+from repro.errors import EtlError
+from repro.etl import (
+    Aggregate,
+    Calculator,
+    FilterStep,
+    Flow,
+    Job,
+    MergeJoin,
+    RowStore,
+    SortStep,
+    TableFunctionStep,
+    TableInput,
+    TableOutput,
+    flow_from_metadata,
+    flow_to_metadata,
+)
+from repro.model import Cube, CubeSchema, Dimension, Frequency, TIME, quarter
+from repro.model.types import STRING
+
+
+@pytest.fixture
+def store():
+    s = RowStore()
+    s.create("PQR", ["q", "r", "p"])
+    s.write(
+        "PQR",
+        [
+            {"q": 1, "r": "n", "p": 10.0},
+            {"q": 1, "r": "s", "p": 20.0},
+            {"q": 2, "r": "n", "p": 30.0},
+        ],
+    )
+    s.create("RGDPPC", ["q", "r", "g"])
+    s.write(
+        "RGDPPC",
+        [
+            {"q": 1, "r": "n", "g": 2.0},
+            {"q": 2, "r": "n", "g": 3.0},
+        ],
+    )
+    return s
+
+
+class TestRowStore:
+    def test_create_write_read(self, store):
+        assert store.fields("PQR") == ["q", "r", "p"]
+        assert len(store.rows("PQR")) == 3
+
+    def test_duplicate_create_rejected(self, store):
+        with pytest.raises(EtlError):
+            store.create("PQR", ["a"])
+
+    def test_missing_table(self, store):
+        with pytest.raises(EtlError):
+            store.rows("NOPE")
+
+    def test_write_requires_fields(self, store):
+        with pytest.raises(EtlError, match="missing fields"):
+            store.write("PQR", [{"q": 1}])
+
+    def test_cube_roundtrip(self):
+        schema = CubeSchema(
+            "C", [Dimension("q", TIME(Frequency.QUARTER))], "v"
+        )
+        cube = Cube.from_series(schema, quarter(2020, 1), [1.0, 2.0])
+        store = RowStore()
+        store.load_cube(cube)
+        assert store.to_cube(schema).approx_equals(cube)
+
+    def test_to_cube_field_mismatch(self, store):
+        schema = CubeSchema("PQR", [Dimension("q", TIME(Frequency.QUARTER))], "v")
+        with pytest.raises(EtlError):
+            store.to_cube(schema)
+
+
+class TestSteps:
+    def test_table_input(self, store):
+        step = TableInput("in", "PQR")
+        assert len(step.run([], store)) == 3
+
+    def test_merge_join_inner(self, store):
+        left = TableInput("a", "PQR").run([], store)
+        right = TableInput("b", "RGDPPC").run([], store)
+        merged = MergeJoin("m", ["q", "r"]).run([left, right], store)
+        assert len(merged) == 2
+        assert all("p" in row and "g" in row for row in merged)
+
+    def test_merge_join_needs_two_inputs(self, store):
+        with pytest.raises(EtlError):
+            MergeJoin("m", ["q"]).run([[]], store)
+
+    def test_calculator_formula(self, store):
+        rows = [{"p": 3.0, "g": 4.0}]
+        out = Calculator("c", "v", "p * g", drop=["p", "g"]).run([rows], store)
+        assert out == [{"v": 12.0}]
+
+    def test_calculator_scalar_function(self, store):
+        rows = [{"p": 1.0}]
+        out = Calculator("c", "v", "exp(p - 1)").run([rows], store)
+        assert out[0]["v"] == pytest.approx(1.0)
+
+    def test_calculator_missing_field(self, store):
+        with pytest.raises(EtlError, match="no field"):
+            Calculator("c", "v", "zzz * 2").run([[{"p": 1.0}]], store)
+
+    def test_aggregate_with_transform(self, store):
+        rows = [
+            {"q": quarter(2020, 1), "v": 1.0},
+            {"q": quarter(2020, 2), "v": 3.0},
+            {"q": quarter(2021, 1), "v": 5.0},
+        ]
+        step = Aggregate("a", [("q", "y", "year")], "v", "avg", "m")
+        out = step.run([rows], store)
+        assert sorted((str(r["y"]), r["m"]) for r in out) == [
+            ("2020", 2.0),
+            ("2021", 5.0),
+        ]
+
+    def test_table_function_step(self, store):
+        rows = [
+            {"q": quarter(2020, 2), "v": 2.0},
+            {"q": quarter(2020, 1), "v": 1.0},
+            {"q": quarter(2020, 3), "v": 3.0},
+        ]
+        step = TableFunctionStep("tf", "cumsum", "q", "v")
+        out = step.run([rows], store)
+        assert [r["v"] for r in out] == [1.0, 3.0, 6.0]
+
+    def test_table_function_rejects_non_tf(self, store):
+        with pytest.raises(EtlError):
+            TableFunctionStep("tf", "sum", "q", "v")
+
+    def test_filter_step(self, store):
+        rows = [{"v": 0.0}, {"v": 5.0}]
+        assert FilterStep("f", "v").run([rows], store) == [{"v": 5.0}]
+
+    def test_sort_step(self, store):
+        rows = [{"q": 2}, {"q": 1}]
+        assert SortStep("s", ["q"]).run([rows], store) == [{"q": 1}, {"q": 2}]
+
+    def test_table_output_creates_and_writes(self, store):
+        rows = [{"x": 1, "y": 2.0}]
+        TableOutput("o", "OUT", ["x", "y"]).run([rows], store)
+        assert store.rows("OUT") == rows
+
+
+class TestFlow:
+    def _figure1_flow(self):
+        """The paper's Figure 1: two inputs -> merge -> calc -> output."""
+        flow = Flow("tgd2")
+        flow.add(TableInput("in_PQR", "PQR"))
+        flow.add(TableInput("in_RGDPPC", "RGDPPC"))
+        flow.add(MergeJoin("merge", ["q", "r"]))
+        flow.add(Calculator("calc", "v", "p * g", drop=["p", "g"]))
+        flow.add(TableOutput("out", "RGDP", ["q", "r", "v"]))
+        flow.hop("in_PQR", "merge", 0)
+        flow.hop("in_RGDPPC", "merge", 1)
+        flow.hop("merge", "calc")
+        flow.hop("calc", "out")
+        return flow
+
+    def test_figure1_runs(self, store):
+        flow = self._figure1_flow()
+        flow.run(store)
+        rows = store.rows("RGDP")
+        assert sorted((r["q"], r["v"]) for r in rows) == [(1, 20.0), (2, 90.0)]
+
+    def test_topological_order(self, store):
+        flow = self._figure1_flow()
+        order = flow.topological_order()
+        assert order.index("merge") > order.index("in_PQR")
+        assert order.index("out") == len(order) - 1
+
+    def test_cycle_detected(self):
+        flow = Flow("bad")
+        flow.add(Calculator("a", "x", "1"))
+        flow.add(Calculator("b", "x", "1"))
+        flow.hop("a", "b")
+        flow.hop("b", "a")
+        with pytest.raises(EtlError, match="cycle"):
+            flow.topological_order()
+
+    def test_input_count_validated(self, store):
+        flow = Flow("bad")
+        flow.add(TableInput("in", "PQR"))
+        flow.add(MergeJoin("m", ["q"]))
+        flow.hop("in", "m", 0)
+        with pytest.raises(EtlError, match="needs 2"):
+            flow.run(store)
+
+    def test_duplicate_step_rejected(self):
+        flow = Flow("f")
+        flow.add(TableInput("in", "PQR"))
+        with pytest.raises(EtlError):
+            flow.add(TableInput("in", "PQR"))
+
+    def test_hop_unknown_step(self):
+        flow = Flow("f")
+        flow.add(TableInput("in", "PQR"))
+        with pytest.raises(EtlError):
+            flow.hop("in", "nope")
+
+    def test_metadata_roundtrip(self, store):
+        flow = self._figure1_flow()
+        rebuilt = flow_from_metadata(flow_to_metadata(flow))
+        rebuilt.run(store)
+        assert len(store.rows("RGDP")) == 2
+
+    def test_metadata_unknown_step_type(self):
+        with pytest.raises(EtlError, match="unknown step type"):
+            flow_from_metadata(
+                {"name": "f", "steps": [{"type": "Nope", "name": "x"}], "hops": []}
+            )
+
+    def test_job_runs_flows_in_order(self, store):
+        first = self._figure1_flow()
+        second = Flow("scale")
+        second.add(TableInput("in", "RGDP"))
+        second.add(Calculator("calc", "v", "v * 10"))
+        second.add(TableOutput("out", "RGDP10", ["q", "r", "v"]))
+        second.hop("in", "calc")
+        second.hop("calc", "out")
+        job = Job("job", [first, second])
+        results = job.run(store)
+        assert len(results) == 2
+        assert sorted(r["v"] for r in store.rows("RGDP10")) == [200.0, 900.0]

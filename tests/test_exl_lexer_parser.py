@@ -1,0 +1,181 @@
+"""Tests for the EXL lexer and parser."""
+
+import pytest
+
+from repro.errors import ExlSyntaxError
+from repro.exl import (
+    BinOp,
+    Call,
+    CubeRef,
+    GroupItem,
+    Number,
+    String,
+    UnaryOp,
+    parse_expression,
+    parse_program,
+    tokenize,
+)
+from repro.exl.tokens import TokenType
+
+
+class TestLexer:
+    def test_simple_statement_tokens(self):
+        tokens = tokenize("A := B + 2")
+        types = [t.type for t in tokens]
+        assert types == [
+            TokenType.IDENT,
+            TokenType.ASSIGN,
+            TokenType.IDENT,
+            TokenType.PLUS,
+            TokenType.NUMBER,
+            TokenType.NEWLINE,
+            TokenType.EOF,
+        ]
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 1e3 1.5e-2") if t.type is TokenType.NUMBER]
+        assert values == [1.0, 2.5, 1000.0, 0.015]
+
+    def test_string_literals_both_quotes(self):
+        tokens = tokenize("shift(C, 1, \"t\") ; x := 'abc'")
+        strings = [t.value for t in tokens if t.type is TokenType.STRING]
+        assert strings == ["t", "abc"]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("A := B # trailing comment\n// full line\nC := D")
+        idents = [t.value for t in tokens if t.type is TokenType.IDENT]
+        assert idents == ["A", "B", "C", "D"]
+
+    def test_newline_suppressed_in_parens(self):
+        tokens = tokenize("A := sum(B,\n group by q)")
+        assert TokenType.KW_GROUP in [t.type for t in tokens]
+        # only the final newline survives
+        newlines = [t for t in tokens if t.type is TokenType.NEWLINE]
+        assert len(newlines) == 1
+
+    def test_semicolon_separates_statements(self):
+        tokens = tokenize("A := B; C := D")
+        assert sum(1 for t in tokens if t.type is TokenType.NEWLINE) == 2
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("GROUP BY AS")
+        assert [t.type for t in tokens][:3] == [
+            TokenType.KW_GROUP,
+            TokenType.KW_BY,
+            TokenType.KW_AS,
+        ]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ExlSyntaxError):
+            tokenize('A := "oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(ExlSyntaxError):
+            tokenize("A := B ? C")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ExlSyntaxError) as error:
+            tokenize("A := B\nC := @")
+        assert error.value.line == 2
+
+
+class TestParserExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("A + B * C")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(A + B) * C")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "+"
+
+    def test_left_associativity(self):
+        expr = parse_expression("A - B - C")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinOp)
+        assert expr.right == CubeRef("C")
+
+    def test_power_right_associative(self):
+        expr = parse_expression("A ^ 2 ^ 3")
+        assert expr.op == "^"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "^"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-A")
+        assert isinstance(expr, UnaryOp) and expr.operand == CubeRef("A")
+
+    def test_call_with_args(self):
+        expr = parse_expression("shift(C, 1)")
+        assert expr == Call("shift", (CubeRef("C"), Number(1.0)))
+
+    def test_call_with_string_param(self):
+        expr = parse_expression('shift(C, 1, "t")')
+        assert expr.args[2] == String("t")
+
+    def test_group_by_plain(self):
+        expr = parse_expression("sum(C, group by q)")
+        assert expr.group_by == (GroupItem("q"),)
+
+    def test_group_by_function_and_alias(self):
+        expr = parse_expression("avg(C, group by quarter(d) as q, r)")
+        assert expr.group_by == (GroupItem("d", "quarter", "q"), GroupItem("r"))
+
+    def test_group_item_result_name(self):
+        assert GroupItem("d", "quarter", "q").result_name == "q"
+        assert GroupItem("d", "quarter").result_name == "quarter"
+        assert GroupItem("d").result_name == "d"
+
+    def test_empty_call(self):
+        expr = parse_expression("f()")
+        assert expr == Call("f", ())
+
+    def test_nested_calls(self):
+        expr = parse_expression("ln(ma(C, 3))")
+        assert expr.name == "ln"
+        assert expr.args[0].name == "ma"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ExlSyntaxError):
+            parse_expression("A + B C")
+
+    def test_missing_operand(self):
+        with pytest.raises(ExlSyntaxError):
+            parse_expression("A +")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ExlSyntaxError):
+            parse_expression("(A + B")
+
+
+class TestParserPrograms:
+    def test_statement_per_line(self):
+        program = parse_program("A := B\nC := A * 2\n")
+        assert [s.target for s in program] == ["A", "C"]
+
+    def test_semicolon_separated(self):
+        program = parse_program("A := B; C := D")
+        assert len(program) == 2
+
+    def test_blank_lines_and_comments(self):
+        program = parse_program("\n# header\nA := B\n\n\nC := D # tail\n")
+        assert len(program) == 2
+
+    def test_statement_line_numbers(self):
+        program = parse_program("A := B\nC := D")
+        assert program.statements[0].line == 1
+        assert program.statements[1].line == 2
+
+    def test_missing_assign(self):
+        with pytest.raises(ExlSyntaxError):
+            parse_program("A B")
+
+    def test_two_exprs_on_a_line_rejected(self):
+        with pytest.raises(ExlSyntaxError):
+            parse_program("A := B C := D")
+
+    def test_roundtrip_str(self):
+        source = "PCHNG := ((GDPT - shift(GDPT, 1)) * 100) / GDPT"
+        program = parse_program(source)
+        # re-parsing the printed form yields the same AST
+        assert parse_program(str(program)) == program

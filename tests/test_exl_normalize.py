@@ -1,0 +1,146 @@
+"""Tests for normalization into single-operator statements (Section 4.1)."""
+
+import pytest
+
+from repro.exl import (
+    BinOp,
+    Call,
+    CubeRef,
+    Number,
+    Program,
+    default_registry,
+    fold_constants,
+    normalize_program,
+    parse_expression,
+)
+from repro.model import TIME, CubeSchema, Dimension, Frequency, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema([CubeSchema("S", [Dimension("q", TIME(Frequency.QUARTER))], "v")])
+
+
+def _single_operator(expr) -> bool:
+    """True when expr applies exactly one operator to atomic operands."""
+    if isinstance(expr, CubeRef):
+        return True  # pure copy
+    if isinstance(expr, BinOp):
+        return all(
+            isinstance(child, (CubeRef, Number)) for child in (expr.left, expr.right)
+        )
+    if isinstance(expr, Call):
+        from repro.exl.ast import String
+
+        return all(isinstance(a, (CubeRef, Number, String)) for a in expr.args)
+    return False
+
+
+class TestFolding:
+    def test_arithmetic_folded(self):
+        registry = default_registry()
+        folded = fold_constants(parse_expression("2 * 3 + 1"), registry)
+        assert folded == Number(7.0)
+
+    def test_unary_minus_folded(self):
+        registry = default_registry()
+        assert fold_constants(parse_expression("-(2 + 3)"), registry) == Number(-5.0)
+
+    def test_scalar_call_folded(self):
+        registry = default_registry()
+        folded = fold_constants(parse_expression("exp(0)"), registry)
+        assert folded == Number(1.0)
+
+    def test_cube_parts_left_alone(self):
+        registry = default_registry()
+        folded = fold_constants(parse_expression("(2 * 3) * S"), registry)
+        assert isinstance(folded, BinOp)
+        assert folded.left == Number(6.0)
+        assert folded.right == CubeRef("S")
+
+    def test_constant_division_by_zero(self):
+        from repro.errors import OperatorError
+
+        registry = default_registry()
+        with pytest.raises(OperatorError):
+            fold_constants(parse_expression("1 / (2 - 2)"), registry)
+
+
+class TestNormalization:
+    def test_paper_statement_five_becomes_chain(self, schema):
+        # the paper's (5) -> (5a)..(5d) rewrite
+        program = Program.compile(
+            "PCHNG := (S - shift(S, 1)) * 100 / S", schema
+        )
+        normalized = normalize_program(program)
+        assert len(normalized) == 4
+        targets = [s.target for s in normalized.statements]
+        assert targets[-1] == "PCHNG"
+        assert all(t.startswith("_tmp") for t in targets[:-1])
+
+    def test_every_statement_single_operator(self, schema):
+        program = Program.compile(
+            "A := ln(S * 2) + shift(S, 1) * 3\nB := A / (S + A)", schema
+        )
+        normalized = normalize_program(program)
+        for statement in normalized.statements:
+            assert _single_operator(statement.expr), str(statement)
+
+    def test_already_normal_program_unchanged_in_length(self, schema):
+        program = Program.compile("A := S * 2\nB := shift(A, 1)", schema)
+        normalized = normalize_program(program)
+        assert len(normalized) == 2
+
+    def test_final_values_have_original_names(self, schema):
+        program = Program.compile("A := (S + S) * 2", schema)
+        normalized = normalize_program(program)
+        assert normalized.statements[-1].target == "A"
+
+    def test_unary_minus_becomes_scalar_multiplication(self, schema):
+        program = Program.compile("A := -S", schema)
+        normalized = normalize_program(program)
+        expr = normalized.statements[-1].expr
+        assert isinstance(expr, BinOp) and expr.op == "*"
+        assert expr.left == Number(-1.0)
+
+    def test_temp_names_do_not_collide_with_user_names(self, schema):
+        taken = Schema(
+            [
+                CubeSchema("S", [Dimension("q", TIME(Frequency.QUARTER))], "v"),
+                CubeSchema("_tmp1_A", [Dimension("q", TIME(Frequency.QUARTER))], "v"),
+            ]
+        )
+        program = Program.compile("A := (S + S) * 2", taken)
+        normalized = normalize_program(program)
+        targets = [s.target for s in normalized.statements]
+        assert len(set(targets)) == len(targets)
+        assert "_tmp1_A" not in targets
+
+    def test_normalized_program_revalidates(self, schema):
+        program = Program.compile("A := ln(S * 2 + 1)", schema)
+        normalized = normalize_program(program)
+        # schemas inferred for temps
+        for statement in normalized.statements:
+            assert statement.schema.dim_names == ("q",)
+
+    def test_constant_folding_applied_during_normalize(self, schema):
+        program = Program.compile("A := S * (2 * 3)", schema)
+        normalized = normalize_program(program)
+        assert len(normalized) == 1
+        expr = normalized.statements[0].expr
+        assert Number(6.0) in (expr.left, expr.right)
+
+    def test_group_by_preserved(self, schema):
+        program = Program.compile(
+            "A := sum(S, group by year(q) as y)", schema
+        )
+        normalized = normalize_program(program)
+        assert len(normalized) == 1
+        assert normalized.statements[0].expr.group_by[0].alias == "y"
+
+    def test_deep_nesting(self, schema):
+        program = Program.compile("A := ln(exp(abs(S * 2) + 1))", schema)
+        normalized = normalize_program(program)
+        assert len(normalized) == 5
+        for statement in normalized.statements:
+            assert _single_operator(statement.expr)

@@ -1,0 +1,240 @@
+"""Tests for EXL semantic analysis and program validation."""
+
+import pytest
+
+from repro.errors import ExlSemanticError, OperatorError
+from repro.exl import Program, infer_expression_schema, parse_expression
+from repro.model import (
+    STRING,
+    TIME,
+    CubeSchema,
+    Dimension,
+    Frequency,
+    Schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            CubeSchema(
+                "P",
+                [Dimension("m", TIME(Frequency.MONTH)), Dimension("r", STRING)],
+                "v",
+            ),
+            CubeSchema(
+                "Q",
+                [Dimension("m", TIME(Frequency.MONTH)), Dimension("r", STRING)],
+                "w",
+            ),
+            CubeSchema("S", [Dimension("m", TIME(Frequency.MONTH))], "v"),
+        ]
+    )
+
+
+class TestInference:
+    def test_cube_ref(self, schema):
+        sig = infer_expression_schema(parse_expression("P"), schema)
+        assert sig.dim_names == ("m", "r")
+
+    def test_scalar_multiplication_keeps_dims(self, schema):
+        sig = infer_expression_schema(parse_expression("3 * P"), schema)
+        assert sig.dim_names == ("m", "r")
+
+    def test_vectorial_sum(self, schema):
+        sig = infer_expression_schema(parse_expression("P + Q"), schema)
+        assert sig.dim_names == ("m", "r")
+
+    def test_vectorial_dim_mismatch(self, schema):
+        with pytest.raises(ExlSemanticError, match="same dimensions"):
+            infer_expression_schema(parse_expression("P + S"), schema)
+
+    def test_cube_power_cube_rejected(self, schema):
+        with pytest.raises(ExlSemanticError):
+            infer_expression_schema(parse_expression("P ^ Q"), schema)
+
+    def test_unknown_cube(self, schema):
+        with pytest.raises(ExlSemanticError, match="unknown cube"):
+            infer_expression_schema(parse_expression("ZZZ"), schema)
+
+    def test_scalar_expression_is_scalar(self, schema):
+        assert infer_expression_schema(parse_expression("2 + 3"), schema) is None
+
+    def test_scalar_function_on_cube(self, schema):
+        sig = infer_expression_schema(parse_expression("ln(S)"), schema)
+        assert sig.dim_names == ("m",)
+
+    def test_log_base_first_like_paper(self, schema):
+        # the paper writes log(2, el * 3): scalar base first, cube second
+        sig = infer_expression_schema(parse_expression("log(2, S)"), schema)
+        assert sig is not None and sig.dim_names == ("m",)
+
+    def test_scalar_function_two_cubes_rejected(self, schema):
+        with pytest.raises(ExlSemanticError):
+            infer_expression_schema(parse_expression("ln(P, Q)"), schema)
+
+    def test_unknown_operator(self, schema):
+        with pytest.raises(OperatorError):
+            infer_expression_schema(parse_expression("nosuchop(P)"), schema)
+
+
+class TestShift:
+    def test_shift_time_series(self, schema):
+        sig = infer_expression_schema(parse_expression("shift(S, 1)"), schema)
+        assert sig.dim_names == ("m",)
+
+    def test_shift_panel_uses_unique_time_dim(self, schema):
+        sig = infer_expression_schema(parse_expression("shift(P, 2)"), schema)
+        assert sig.dim_names == ("m", "r")
+
+    def test_shift_negative_periods(self, schema):
+        assert infer_expression_schema(parse_expression("shift(S, -1)"), schema)
+
+    def test_shift_explicit_dimension(self, schema):
+        sig = infer_expression_schema(parse_expression('shift(P, 1, "m")'), schema)
+        assert sig.dim_names == ("m", "r")
+
+    def test_shift_non_integer_rejected(self, schema):
+        with pytest.raises(ExlSemanticError):
+            infer_expression_schema(parse_expression("shift(S, 1.5)"), schema)
+
+    def test_shift_missing_periods(self, schema):
+        with pytest.raises(ExlSemanticError):
+            infer_expression_schema(parse_expression("shift(S)"), schema)
+
+    def test_shift_non_time_dimension_rejected(self, schema):
+        with pytest.raises(ExlSemanticError, match="not a time"):
+            infer_expression_schema(parse_expression('shift(P, 1, "r")'), schema)
+
+
+class TestAggregation:
+    def test_group_by_subset(self, schema):
+        sig = infer_expression_schema(parse_expression("sum(P, group by m)"), schema)
+        assert sig.dim_names == ("m",)
+
+    def test_group_by_all_dims(self, schema):
+        sig = infer_expression_schema(
+            parse_expression("avg(P, group by m, r)"), schema
+        )
+        assert sig.dim_names == ("m", "r")
+
+    def test_group_by_empty_gives_zero_dims(self, schema):
+        sig = infer_expression_schema(parse_expression("sum(P)"), schema)
+        assert sig.dim_names == ()
+
+    def test_frequency_conversion(self, schema):
+        sig = infer_expression_schema(
+            parse_expression("avg(P, group by quarter(m) as q, r)"), schema
+        )
+        assert sig.dimension("q").dtype.freq is Frequency.QUARTER
+
+    def test_default_alias_is_function_name(self, schema):
+        sig = infer_expression_schema(
+            parse_expression("avg(P, group by quarter(m), r)"), schema
+        )
+        assert sig.dim_names == ("quarter", "r")
+
+    def test_group_by_unknown_dim(self, schema):
+        with pytest.raises(Exception):
+            infer_expression_schema(parse_expression("sum(P, group by zzz)"), schema)
+
+    def test_group_by_on_non_aggregation_rejected(self, schema):
+        with pytest.raises(ExlSemanticError, match="group by"):
+            infer_expression_schema(parse_expression("ln(P, group by m)"), schema)
+
+    def test_duplicate_result_dims_rejected(self, schema):
+        with pytest.raises(ExlSemanticError, match="duplicate"):
+            infer_expression_schema(
+                parse_expression("sum(P, group by m, quarter(m) as m)"), schema
+            )
+
+    def test_dim_function_needs_coarser_target(self, schema):
+        with pytest.raises(ExlSemanticError):
+            infer_expression_schema(
+                parse_expression("sum(P, group by month(m))"), schema
+            )
+
+    def test_dim_function_on_string_dim_rejected(self, schema):
+        with pytest.raises(ExlSemanticError):
+            infer_expression_schema(
+                parse_expression("sum(P, group by quarter(r))"), schema
+            )
+
+
+class TestTableFunctions:
+    def test_stl_on_time_series(self, schema):
+        sig = infer_expression_schema(parse_expression("stl_t(S)"), schema)
+        assert sig.dim_names == ("m",)
+
+    def test_stl_on_panel_rejected(self, schema):
+        with pytest.raises(ExlSemanticError, match="time series"):
+            infer_expression_schema(parse_expression("stl_t(P)"), schema)
+
+    def test_param_count_validated(self, schema):
+        with pytest.raises(OperatorError):
+            infer_expression_schema(parse_expression("ma(S)"), schema)
+
+    def test_dim_function_outside_group_by_rejected(self, schema):
+        with pytest.raises(ExlSemanticError):
+            infer_expression_schema(parse_expression("quarter(S)"), schema)
+
+
+class TestProgramValidation:
+    def test_elementary_derived_partition(self, schema):
+        program = Program.compile("A := P + Q\nB := A * 2", schema)
+        assert program.elementary == ["P", "Q"]
+        assert program.derived == ["A", "B"]
+
+    def test_redefinition_rejected(self, schema):
+        with pytest.raises(ExlSemanticError, match="more than once"):
+            Program.compile("A := P\nA := Q", schema)
+
+    def test_forward_reference_rejected(self, schema):
+        with pytest.raises(ExlSemanticError, match="unknown cube"):
+            Program.compile("A := B\nB := P", schema)
+
+    def test_self_reference_rejected(self, schema):
+        with pytest.raises(ExlSemanticError):
+            Program.compile("A := A * 2", schema)
+
+    def test_scalar_statement_rejected(self, schema):
+        with pytest.raises(ExlSemanticError, match="scalar"):
+            Program.compile("A := 2 + 3", schema)
+
+    def test_declared_schema_checked(self):
+        declared = Schema(
+            [
+                CubeSchema("E", [Dimension("m", TIME(Frequency.MONTH))], "v"),
+                CubeSchema("D", [Dimension("x", STRING)], "v"),
+            ]
+        )
+        with pytest.raises(ExlSemanticError, match="does not match"):
+            Program.compile("D := E * 2", declared)
+
+    def test_declared_schema_accepted_when_matching(self):
+        declared = Schema(
+            [
+                CubeSchema("E", [Dimension("m", TIME(Frequency.MONTH))], "v"),
+                CubeSchema("D", [Dimension("m", TIME(Frequency.MONTH))], "v"),
+            ]
+        )
+        program = Program.compile("D := E * 2", declared)
+        assert program.derived == ["D"]
+
+    def test_dependencies_edges(self, schema):
+        program = Program.compile("A := P + Q\nB := A * 2", schema)
+        assert ("P", "A") in program.dependencies()
+        assert ("A", "B") in program.dependencies()
+
+    def test_statement_for(self, schema):
+        program = Program.compile("A := P + Q", schema)
+        assert program.statement_for("A").target == "A"
+        with pytest.raises(ExlSemanticError):
+            program.statement_for("ZZZ")
+
+    def test_derived_cube_usable_downstream(self, schema):
+        program = Program.compile(
+            "A := sum(P, group by m)\nB := A + S", schema
+        )
+        assert program.schema_of("B").dim_names == ("m",)

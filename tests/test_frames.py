@@ -1,0 +1,156 @@
+"""Tests for the dataframe engine (the R substitute)."""
+
+import pytest
+
+from repro.errors import FrameError
+from repro.frames import DataFrame
+from repro.model import quarter
+from repro.stats import get_aggregate
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "q": [1, 1, 2, 2],
+            "r": ["n", "s", "n", "s"],
+            "v": [10.0, 20.0, 30.0, 40.0],
+        }
+    )
+
+
+class TestBasics:
+    def test_shape(self, frame):
+        assert frame.nrow == 4
+        assert frame.names == ["q", "r", "v"]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(FrameError):
+            DataFrame({"a": [1], "b": [1, 2]})
+
+    def test_from_rows_roundtrip(self, frame):
+        again = DataFrame.from_rows(frame.names, frame.rows())
+        assert again.equals(frame)
+
+    def test_from_rows_bad_width(self):
+        with pytest.raises(FrameError):
+            DataFrame.from_rows(["a", "b"], [(1,)])
+
+    def test_missing_column(self, frame):
+        with pytest.raises(FrameError):
+            frame.column("zzz")
+
+    def test_empty_frame(self):
+        empty = DataFrame()
+        assert empty.nrow == 0 and empty.names == []
+
+
+class TestColumnOps:
+    def test_assign_new_column(self, frame):
+        out = frame.assign("w", [v * 2 for v in frame["v"]])
+        assert out["w"] == [20.0, 40.0, 60.0, 80.0]
+        assert "w" not in frame  # original untouched
+
+    def test_assign_wrong_length(self, frame):
+        with pytest.raises(FrameError):
+            frame.assign("w", [1.0])
+
+    def test_select_and_drop(self, frame):
+        assert frame.select(["v", "q"]).names == ["v", "q"]
+        assert frame.drop(["r"]).names == ["q", "v"]
+
+    def test_drop_missing_raises(self, frame):
+        with pytest.raises(FrameError):
+            frame.drop(["zzz"])
+
+    def test_rename(self, frame):
+        assert frame.rename({"v": "value"}).names == ["q", "r", "value"]
+
+    def test_rename_collision_rejected(self, frame):
+        with pytest.raises(FrameError):
+            frame.rename({"v": "q"})
+
+    def test_filter_rows(self, frame):
+        out = frame.filter_rows([True, False, True, False])
+        assert out.nrow == 2
+        assert out["r"] == ["n", "n"]
+
+    def test_sort_by(self, frame):
+        out = frame.sort_by(["r", "q"])
+        assert out["r"] == ["n", "n", "s", "s"]
+
+    def test_sort_time_points(self):
+        frame = DataFrame({"q": [quarter(2020, 3), quarter(2020, 1)], "v": [1, 2]})
+        assert frame.sort_by(["q"])["v"] == [2, 1]
+
+
+class TestMerge:
+    def test_inner_join(self, frame):
+        other = DataFrame({"q": [1, 2], "r": ["n", "n"], "w": [5.0, 6.0]})
+        merged = frame.merge(other, by=["q", "r"])
+        assert merged.nrow == 2
+        assert set(merged.names) == {"q", "r", "v", "w"}
+
+    def test_non_matching_rows_dropped(self, frame):
+        other = DataFrame({"q": [9], "r": ["n"], "w": [1.0]})
+        assert frame.merge(other, by=["q", "r"]).nrow == 0
+
+    def test_colliding_columns_get_suffixes(self, frame):
+        merged = frame.merge(frame, by=["q", "r"])
+        assert "v.x" in merged.names and "v.y" in merged.names
+
+    def test_missing_key_raises(self, frame):
+        with pytest.raises(FrameError):
+            frame.merge(DataFrame({"z": [1]}), by=["z"])
+
+    def test_duplicate_keys_multiply(self):
+        left = DataFrame({"k": [1, 1], "a": [1, 2]})
+        right = DataFrame({"k": [1, 1], "b": [3, 4]})
+        assert left.merge(right, by=["k"]).nrow == 4
+
+
+class TestGroupAggregate:
+    def test_group_by_one_key(self, frame):
+        out = frame.group_aggregate(["q"], "v", get_aggregate("sum"))
+        assert sorted(out.rows()) == [(1, 30.0), (2, 70.0)]
+
+    def test_key_transform(self):
+        frame = DataFrame(
+            {"q": [quarter(2020, 1), quarter(2020, 2)], "v": [1.0, 3.0]}
+        )
+        from repro.model import Frequency, convert, year
+
+        out = frame.group_aggregate(
+            ["q"],
+            "v",
+            get_aggregate("avg"),
+            key_funcs={"q": lambda t: convert(t, Frequency.YEAR)},
+        )
+        assert out.rows() == [(year(2020), 2.0)]
+
+    def test_out_name(self, frame):
+        out = frame.group_aggregate(["r"], "v", get_aggregate("max"), out_name="m")
+        assert out.names == ["r", "m"]
+
+    def test_apply_table(self, frame):
+        doubled = frame.apply_table(
+            lambda f: f.assign("v", [v * 2 for v in f["v"]])
+        )
+        assert doubled["v"] == [20.0, 40.0, 60.0, 80.0]
+
+    def test_apply_table_must_return_frame(self, frame):
+        with pytest.raises(FrameError):
+            frame.apply_table(lambda f: 42)
+
+
+class TestEquality:
+    def test_equals_ignores_row_order(self, frame):
+        shuffled = DataFrame.from_rows(frame.names, list(reversed(frame.rows())))
+        assert frame.equals(shuffled)
+
+    def test_equals_respects_columns(self, frame):
+        assert not frame.equals(frame.drop(["v"]))
+
+    def test_head_renders(self, frame):
+        text = frame.head(2)
+        assert "q\tr\tv" in text

@@ -1,0 +1,214 @@
+"""Tests for cube CSV I/O and the command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import load_project, main
+from repro.errors import ModelError
+from repro.model import (
+    STRING,
+    TIME,
+    Cube,
+    CubeSchema,
+    Dimension,
+    Frequency,
+    day,
+    month,
+    quarter,
+)
+from repro.model.io import (
+    cube_from_csv_text,
+    cube_to_csv_text,
+    format_dimtype,
+    parse_dimtype,
+    read_cube_csv,
+    write_cube_csv,
+)
+
+
+@pytest.fixture
+def panel_schema():
+    return CubeSchema(
+        "P",
+        [Dimension("q", TIME(Frequency.QUARTER)), Dimension("r", STRING)],
+        "v",
+    )
+
+
+@pytest.fixture
+def panel(panel_schema):
+    cube = Cube(panel_schema)
+    cube.set((quarter(2020, 1), "north"), 1.5)
+    cube.set((quarter(2020, 2), "south"), -2.25)
+    return cube
+
+
+class TestDimTypeSpecs:
+    def test_parse_string(self):
+        assert parse_dimtype("string") is STRING
+
+    def test_parse_time_specs(self):
+        assert parse_dimtype("time:Q") == TIME(Frequency.QUARTER)
+        assert parse_dimtype("time:D") == TIME(Frequency.DAY)
+        assert parse_dimtype("time:month") == TIME(Frequency.MONTH)
+
+    def test_parse_integer(self):
+        from repro.model import INTEGER
+
+        assert parse_dimtype("int") is INTEGER
+
+    def test_parse_unknown(self):
+        with pytest.raises(ModelError):
+            parse_dimtype("floaty")
+
+    def test_parse_unknown_frequency(self):
+        with pytest.raises(ModelError):
+            parse_dimtype("time:X")
+
+    def test_roundtrip_format(self):
+        for spec in ("time:Q", "time:D", "string", "integer"):
+            assert format_dimtype(parse_dimtype(spec)) == spec
+
+
+class TestCsvRoundtrip:
+    def test_text_roundtrip(self, panel_schema, panel):
+        text = cube_to_csv_text(panel)
+        again = cube_from_csv_text(panel_schema, text)
+        assert again.approx_equals(panel)
+
+    def test_header_written(self, panel):
+        text = cube_to_csv_text(panel)
+        assert text.splitlines()[0] == "q,r,v"
+
+    def test_file_roundtrip(self, panel_schema, panel, tmp_path):
+        path = tmp_path / "panel.csv"
+        write_cube_csv(panel, path)
+        assert read_cube_csv(panel_schema, path).approx_equals(panel)
+
+    def test_daily_and_monthly_points(self, tmp_path):
+        schema = CubeSchema("S", [Dimension("d", TIME(Frequency.DAY))], "v")
+        cube = Cube(schema)
+        cube.set((day(2020, 2, 29),), 1.0)
+        path = tmp_path / "s.csv"
+        write_cube_csv(cube, path)
+        assert read_cube_csv(schema, path)[(day(2020, 2, 29),)] == 1.0
+
+    def test_header_mismatch_rejected(self, panel_schema):
+        with pytest.raises(ModelError, match="header"):
+            cube_from_csv_text(panel_schema, "a,b,c\n")
+
+    def test_empty_file_rejected(self, panel_schema):
+        with pytest.raises(ModelError, match="empty"):
+            cube_from_csv_text(panel_schema, "")
+
+    def test_bad_field_count(self, panel_schema):
+        with pytest.raises(ModelError, match="line 2"):
+            cube_from_csv_text(panel_schema, "q,r,v\n2020Q1,north\n")
+
+    def test_bad_value_reports_line(self, panel_schema):
+        with pytest.raises(ModelError, match="line 3"):
+            cube_from_csv_text(
+                panel_schema, "q,r,v\n2020Q1,north,1.0\n2020Q2,south,oops\n"
+            )
+
+    def test_blank_lines_skipped(self, panel_schema):
+        cube = cube_from_csv_text(panel_schema, "q,r,v\n\n2020Q1,north,1.0\n\n")
+        assert len(cube) == 1
+
+    def test_float_precision_preserved(self, panel_schema):
+        cube = Cube(panel_schema)
+        cube.set((quarter(2020, 1), "x"), 0.1 + 0.2)
+        again = cube_from_csv_text(panel_schema, cube_to_csv_text(cube))
+        assert again[(quarter(2020, 1), "x")] == 0.1 + 0.2
+
+
+@pytest.fixture
+def project_dir(tmp_path):
+    """A minimal CLI project: one series, a two-statement program."""
+    schema = CubeSchema("S", [Dimension("q", TIME(Frequency.QUARTER))], "v")
+    cube = Cube.from_series(schema, quarter(2020, 1), [1.0, 2.0, 3.0, 4.0])
+    write_cube_csv(cube, tmp_path / "s.csv")
+    (tmp_path / "program.exl").write_text("A := S * 2\nB := cumsum(A)\n")
+    spec = {
+        "elementary": [
+            {
+                "name": "S",
+                "dimensions": [["q", "time:Q"]],
+                "measure": "v",
+                "csv": "s.csv",
+            }
+        ],
+        "program": "program.exl",
+        "outputs": ["B"],
+    }
+    (tmp_path / "project.json").write_text(json.dumps(spec))
+    return tmp_path
+
+
+class TestCli:
+    def test_load_project(self, project_dir):
+        project = load_project(str(project_dir / "project.json"))
+        assert [s.name for s in project.schemas] == ["S"]
+        data = project.load_data()
+        assert len(data["S"]) == 4
+
+    def test_inline_program(self, tmp_path):
+        spec = {
+            "elementary": [
+                {"name": "S", "dimensions": [["q", "time:Q"]], "measure": "v"}
+            ],
+            "program": "A := S * 2",
+        }
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps(spec))
+        project = load_project(str(path))
+        assert project.program_source == "A := S * 2"
+
+    def test_show_prints_mapping(self, project_dir, capsys):
+        code = main(["show", str(project_dir / "project.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S(q, v) -> A(q, 2 * v)" in out or "A(q, v * 2)" in out or "-> A" in out
+
+    def test_compile_sql(self, project_dir, capsys):
+        code = main(
+            ["compile", str(project_dir / "project.json"), "--target", "sql"]
+        )
+        assert code == 0
+        assert "INSERT INTO A" in capsys.readouterr().out
+
+    def test_compile_unknown_target(self, project_dir, capsys):
+        code = main(
+            ["compile", str(project_dir / "project.json"), "--target", "cobol"]
+        )
+        assert code == 2
+
+    def test_explain(self, project_dir, capsys):
+        code = main(["explain", str(project_dir / "project.json")])
+        assert code == 0
+        assert "[sql]" in capsys.readouterr().out
+
+    def test_run_writes_outputs(self, project_dir, capsys):
+        out_dir = project_dir / "results"
+        code = main(
+            ["run", str(project_dir / "project.json"), "--out", str(out_dir)]
+        )
+        assert code == 0
+        written = (out_dir / "B.csv").read_text().splitlines()
+        assert written[0] == "q,v"
+        # B = cumsum(2 * S) = 2, 6, 12, 20
+        assert [float(line.split(",")[1]) for line in written[1:]] == [
+            2.0,
+            6.0,
+            12.0,
+            20.0,
+        ]
+
+    def test_missing_program_errors(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps({"elementary": []}))
+        code = main(["show", str(path)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

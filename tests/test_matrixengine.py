@@ -1,0 +1,110 @@
+"""Tests for the matrix engine (the Matlab substitute)."""
+
+import pytest
+
+from repro.errors import MatrixError
+from repro.matrixengine import Matrix
+from repro.stats import get_aggregate
+
+
+@pytest.fixture
+def matrix():
+    return Matrix(
+        [
+            [1, "n", 10.0],
+            [1, "s", 20.0],
+            [2, "n", 30.0],
+            [2, "s", 40.0],
+        ]
+    )
+
+
+class TestBasics:
+    def test_shape(self, matrix):
+        assert matrix.nrow == 4 and matrix.ncol == 3
+
+    def test_ragged_rejected(self):
+        with pytest.raises(MatrixError):
+            Matrix([[1, 2], [3]])
+
+    def test_col_is_one_based(self, matrix):
+        assert list(matrix.col(1)) == [1, 1, 2, 2]
+
+    def test_col_out_of_range(self, matrix):
+        with pytest.raises(MatrixError):
+            matrix.col(4)
+        with pytest.raises(MatrixError):
+            matrix.col(0)
+
+    def test_rows(self, matrix):
+        assert matrix.rows()[0] == (1, "n", 10.0)
+
+
+class TestColumns:
+    def test_with_column_appends_at_ncol_plus_one(self, matrix):
+        out = matrix.with_column(4, [v * 2 for v in matrix.col(3)])
+        assert out.ncol == 4
+        assert list(out.col(4)) == [20.0, 40.0, 60.0, 80.0]
+
+    def test_with_column_replaces_in_place_position(self, matrix):
+        out = matrix.with_column(3, [0.0] * 4)
+        assert list(out.col(3)) == [0.0] * 4
+        assert list(matrix.col(3)) == [10.0, 20.0, 30.0, 40.0]  # original intact
+
+    def test_with_column_length_checked(self, matrix):
+        with pytest.raises(MatrixError):
+            matrix.with_column(4, [1.0])
+
+    def test_select_composes(self, matrix):
+        out = matrix.select([3, 1])
+        assert out.rows()[0] == (10.0, 1)
+
+    def test_elementwise(self, matrix):
+        values = matrix.elementwise("*", 3, 3)
+        assert list(values) == [100.0, 400.0, 900.0, 1600.0]
+
+    def test_elementwise_division_by_zero(self):
+        m = Matrix([[1.0, 0.0]])
+        with pytest.raises(MatrixError):
+            m.elementwise("/", 1, 2)
+
+
+class TestJoin:
+    def test_join_on_two_keys(self, matrix):
+        other = Matrix([[1, "n", 5.0], [2, "s", 6.0]])
+        joined = matrix.join(other, [1, 2], [1, 2])
+        assert joined.nrow == 2
+        assert joined.ncol == 4  # all of self + other's non-key column
+
+    def test_join_no_matches(self, matrix):
+        other = Matrix([[99, "n", 5.0]])
+        joined = matrix.join(other, [1, 2], [1, 2])
+        assert joined.nrow == 0
+        assert joined.ncol == 4
+
+    def test_join_key_length_mismatch(self, matrix):
+        with pytest.raises(MatrixError):
+            matrix.join(matrix, [1], [1, 2])
+
+
+class TestGroupAndSort:
+    def test_group_aggregate(self, matrix):
+        out = matrix.group_aggregate([1], 3, get_aggregate("sum"))
+        assert sorted(out.rows()) == [(1, 30.0), (2, 70.0)]
+
+    def test_group_aggregate_with_transform(self, matrix):
+        out = matrix.group_aggregate(
+            [1], 3, get_aggregate("sum"), key_funcs={1: lambda v: v % 2}
+        )
+        assert sorted(out.rows()) == [(0, 70.0), (1, 30.0)]
+
+    def test_sort_by(self, matrix):
+        out = matrix.sort_by([2, 1])
+        assert [r[1] for r in out.rows()] == ["n", "n", "s", "s"]
+
+    def test_equals_ignores_order(self, matrix):
+        shuffled = Matrix(list(reversed(matrix.rows())))
+        assert matrix.equals(shuffled)
+
+    def test_equals_shape_mismatch(self, matrix):
+        assert not matrix.equals(Matrix([[1, "n", 10.0]]))

@@ -1,0 +1,187 @@
+"""Tests for the operator registry and the workload generators."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.exl import (
+    ALL_TARGETS,
+    OperatorRegistry,
+    OperatorSpec,
+    OpKind,
+    Program,
+    default_registry,
+    period_for_frequency,
+)
+from repro.model import Frequency, day, month, quarter
+from repro.workloads import (
+    RandomProgramGenerator,
+    employment_example,
+    gdp_example,
+    per_capita_panel,
+    population_panel,
+    price_index_example,
+    random_workload,
+    seasonal_series,
+    series_cube,
+)
+
+
+class TestRegistry:
+    def test_default_registry_has_paper_operators(self, registry):
+        for name in ("shift", "sum", "avg", "stl_t", "quarter", "ln", "log"):
+            assert name in registry
+
+    def test_lookup_case_insensitive(self, registry):
+        assert registry.get("SHIFT").name == "shift"
+
+    def test_unknown_operator(self, registry):
+        with pytest.raises(OperatorError):
+            registry.get("frobnicate")
+
+    def test_duplicate_registration_rejected(self, registry):
+        spec = registry.get("ln")
+        with pytest.raises(OperatorError):
+            registry.register(spec)
+
+    def test_names_by_kind(self, registry):
+        aggs = registry.names(OpKind.AGGREGATION)
+        assert "sum" in aggs and "median" in aggs
+        tables = registry.names(OpKind.TABLE_FUNCTION)
+        assert "stl_t" in tables and "cumsum" in tables
+
+    def test_copy_is_independent(self, registry):
+        clone = registry.copy()
+        clone.register(
+            OperatorSpec("custom", OpKind.SCALAR, lambda v: v, (), ALL_TARGETS)
+        )
+        assert "custom" in clone and "custom" not in registry
+
+    def test_param_count_validation(self, registry):
+        spec = registry.get("ma")
+        with pytest.raises(OperatorError):
+            spec.validate_param_count(0)
+        spec.validate_param_count(1)
+
+    def test_period_for_frequency(self):
+        assert period_for_frequency(Frequency.QUARTER) == 4
+        assert period_for_frequency(Frequency.MONTH) == 12
+        assert period_for_frequency(Frequency.YEAR) is None
+
+    def test_dim_function_impls(self, registry):
+        assert registry.get("quarter").impl(day(2020, 5, 1)) == quarter(2020, 2)
+        assert registry.get("month").impl(day(2020, 5, 1)) == month(2020, 5)
+
+    def test_custom_operator_usable_in_program(self, registry):
+        registry.register(
+            OperatorSpec(
+                "double",
+                OpKind.SCALAR,
+                lambda v: 2 * v,
+                (),
+                ALL_TARGETS,
+                "custom scalar",
+            )
+        )
+        from repro.model import CubeSchema, Dimension, Schema, TIME
+
+        schema = Schema(
+            [CubeSchema("S", [Dimension("q", TIME(Frequency.QUARTER))], "v")]
+        )
+        program = Program.compile("C := double(S)", schema, registry)
+        assert program.derived == ["C"]
+
+
+class TestDataGenerators:
+    def test_seasonal_series_deterministic(self):
+        assert seasonal_series(20, seed=5) == seasonal_series(20, seed=5)
+
+    def test_seasonal_series_different_seeds_differ(self):
+        assert seasonal_series(20, seed=1) != seasonal_series(20, seed=2)
+
+    def test_population_panel_shape(self):
+        panel = population_panel(regions=("a", "b"), n_days=10)
+        assert len(panel) == 20
+        assert panel.schema.dim_names == ("d", "r")
+
+    def test_per_capita_panel_shape(self):
+        panel = per_capita_panel(regions=("a",), n_quarters=8)
+        assert len(panel) == 8
+
+    def test_series_cube(self):
+        cube = series_cube("X", quarter(2020, 1), [1.0, 2.0])
+        assert cube.schema.is_time_series
+
+
+class TestCannedWorkloads:
+    def test_gdp_example_compiles(self):
+        workload = gdp_example(n_quarters=6)
+        program = Program.compile(workload.source, workload.schema)
+        assert program.derived == ["PQR", "RGDP", "GDP", "GDPT", "PCHNG"]
+
+    def test_gdp_population_covers_quarters(self):
+        workload = gdp_example(n_quarters=6)
+        days = {k[0] for k in workload.data["PDR"].keys()}
+        from repro.model import Frequency, convert
+
+        quarters = {convert(d, Frequency.QUARTER) for d in days}
+        assert len(quarters) >= 6
+
+    def test_price_index_compiles(self):
+        workload = price_index_example(n_months=24)
+        program = Program.compile(workload.source, workload.schema)
+        assert "INFL" in program.derived
+
+    def test_employment_compiles(self):
+        workload = employment_example(n_months=30)
+        program = Program.compile(workload.source, workload.schema)
+        assert "URATE_T" in program.derived
+
+
+class TestRandomPrograms:
+    def test_deterministic_per_seed(self):
+        a = random_workload(42, n_statements=5)
+        b = random_workload(42, n_statements=5)
+        assert a.source == b.source
+
+    def test_generated_programs_always_valid(self):
+        for seed in range(25):
+            workload = random_workload(seed, n_statements=7, n_periods=10)
+            program = Program.compile(workload.source, workload.schema)
+            assert len(program.derived) == 7
+
+    def test_statement_count_respected(self):
+        generator = RandomProgramGenerator(seed=1, n_statements=9)
+        workload = generator.generate()
+        assert workload.source.count(":=") == 9
+
+    def test_no_table_functions_when_disabled(self):
+        for seed in range(10):
+            workload = random_workload(
+                seed, n_statements=8, allow_table_functions=False
+            )
+            for banned in ("ma(", "cumsum(", "fitted(", "detrend("):
+                assert banned not in workload.source
+
+
+class TestOperatorDocumentation:
+    def test_markdown_reference_covers_all_operators(self, registry):
+        doc = registry.describe_markdown()
+        for name in registry.names():
+            assert f"`{name}`" in doc, name
+
+    def test_markdown_groups_by_kind(self, registry):
+        doc = registry.describe_markdown()
+        assert "## Tuple-level scalar operators" in doc
+        assert "## Multi-tuple aggregations" in doc
+        assert "## Multi-tuple whole-cube operators" in doc
+
+    def test_checked_in_reference_is_current(self, registry):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "docs" / "OPERATORS.md"
+        assert path.read_text() == registry.describe_markdown(), (
+            "docs/OPERATORS.md is stale; regenerate with "
+            "python -c \"from repro.exl import default_registry; "
+            "open('docs/OPERATORS.md','w')"
+            ".write(default_registry().describe_markdown())\""
+        )

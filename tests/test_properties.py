@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends import all_backends
+from repro.exl import Program
+from repro.mappings import Const, FuncApp, Var, evaluate, generate_mapping, substitute, term_vars
+from repro.model import (
+    Cube,
+    CubeSchema,
+    Dimension,
+    Frequency,
+    TIME,
+    TimePoint,
+    convert,
+    day,
+    month,
+    parse_timepoint,
+    quarter,
+)
+from repro.stats import (
+    cumsum,
+    first_difference,
+    get_aggregate,
+    loess,
+    moving_average,
+    stl_decompose,
+)
+from repro.workloads import random_workload
+
+# -- strategies -----------------------------------------------------------
+
+timepoints = st.one_of(
+    st.integers(min_value=700_000, max_value=760_000).map(
+        lambda o: TimePoint(Frequency.DAY, o)
+    ),
+    st.integers(min_value=1990 * 12, max_value=2030 * 12).map(
+        lambda o: TimePoint(Frequency.MONTH, o)
+    ),
+    st.integers(min_value=1990 * 4, max_value=2030 * 4).map(
+        lambda o: TimePoint(Frequency.QUARTER, o)
+    ),
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+value_lists = st.lists(finite_floats, min_size=1, max_size=40)
+
+
+class TestTimeProperties:
+    @given(timepoints, st.integers(min_value=-1000, max_value=1000))
+    def test_shift_roundtrip(self, point, periods):
+        assert point.shift(periods).shift(-periods) == point
+
+    @given(timepoints, st.integers(-500, 500), st.integers(-500, 500))
+    def test_shift_composes(self, point, a, b):
+        assert point.shift(a).shift(b) == point.shift(a + b)
+
+    @given(timepoints)
+    def test_str_parse_roundtrip(self, point):
+        assert parse_timepoint(str(point)) == point
+
+    @given(timepoints)
+    def test_conversion_chain_consistent(self, point):
+        # converting via an intermediate frequency equals converting directly
+        if point.freq is Frequency.DAY or point.freq is Frequency.MONTH:
+            via_quarter = convert(convert(point, Frequency.QUARTER), Frequency.YEAR)
+            direct = convert(point, Frequency.YEAR)
+            assert via_quarter == direct
+
+    @given(timepoints, st.integers(1, 50))
+    def test_shift_preserves_order(self, point, periods):
+        assert point < point.shift(periods)
+
+    @given(timepoints)
+    def test_conversion_monotone(self, point):
+        later = point.shift(200)
+        assert convert(point, Frequency.YEAR) <= convert(later, Frequency.YEAR)
+
+
+class TestAggregateProperties:
+    @given(value_lists)
+    def test_sum_equals_avg_times_count(self, values):
+        total = get_aggregate("sum")(values)
+        mean = get_aggregate("avg")(values)
+        assert total == pytest.approx(mean * len(values), rel=1e-9, abs=1e-6)
+
+    @given(value_lists)
+    def test_min_le_median_le_max(self, values):
+        low = get_aggregate("min")(values)
+        mid = get_aggregate("median")(values)
+        high = get_aggregate("max")(values)
+        assert low <= mid <= high
+
+    @given(value_lists)
+    def test_var_nonnegative(self, values):
+        assert get_aggregate("var")(values) >= 0
+
+    @given(value_lists, finite_floats)
+    def test_sum_translation_invariance(self, values, shift):
+        shifted = [v + shift for v in values]
+        expected = get_aggregate("sum")(values) + shift * len(values)
+        assert get_aggregate("sum")(shifted) == pytest.approx(
+            expected, rel=1e-9, abs=1e-3
+        )
+
+    @given(value_lists)
+    def test_permutation_invariance(self, values):
+        assert get_aggregate("median")(values) == get_aggregate("median")(
+            list(reversed(values))
+        )
+
+
+class TestSeriesProperties:
+    @given(value_lists)
+    def test_cumsum_last_is_total(self, values):
+        assert cumsum(values)[-1] == pytest.approx(sum(values), abs=1e-6)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=40))
+    def test_diff_of_cumsum_recovers(self, values):
+        recovered = first_difference(cumsum(values))
+        assert recovered == pytest.approx(values[1:], abs=1e-6)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=40), st.integers(1, 10))
+    def test_moving_average_bounded_by_extremes(self, values, window):
+        out = moving_average(values, window)
+        assert all(min(values) - 1e-9 <= v <= max(values) + 1e-9 for v in out)
+
+    @given(st.lists(st.floats(-100, 100), min_size=8, max_size=40))
+    def test_loess_output_length(self, values):
+        assert len(loess(values, frac=0.6)) == len(values)
+
+    @given(
+        st.lists(st.floats(-1000, 1000), min_size=8, max_size=48),
+        st.integers(2, 4),
+    )
+    def test_stl_reconstruction(self, values, period):
+        if len(values) < 2 * period:
+            return
+        decomposition = stl_decompose(values, period)
+        assert decomposition.reconstruct() == pytest.approx(values, abs=1e-6)
+
+
+class TestTermProperties:
+    @given(st.floats(-1e3, 1e3, allow_nan=False), st.floats(-1e3, 1e3, allow_nan=False))
+    def test_evaluate_commutative_ops(self, a, b):
+        from repro.exl import default_registry
+
+        registry = default_registry()
+        add1 = evaluate(FuncApp("+", (Var("a"), Var("b"))), {"a": a, "b": b}, registry)
+        add2 = evaluate(FuncApp("+", (Var("b"), Var("a"))), {"a": a, "b": b}, registry)
+        assert add1 == add2
+
+    @given(st.floats(-100, 100, allow_nan=False))
+    def test_substitute_then_evaluate(self, value):
+        from repro.exl import default_registry
+
+        registry = default_registry()
+        term = FuncApp("*", (Var("x"), Const(2.0)))
+        substituted = substitute(term, {"x": Const(value)})
+        assert term_vars(substituted) == frozenset()
+        assert evaluate(substituted, {}, registry) == pytest.approx(2 * value)
+
+
+class TestCubeProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.sampled_from("abc"), finite_floats),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_from_rows_to_rows_roundtrip(self, raw):
+        from repro.model import STRING
+
+        schema = CubeSchema(
+            "C",
+            [Dimension("q", TIME(Frequency.QUARTER)), Dimension("r", STRING)],
+            "v",
+        )
+        seen = {}
+        rows = []
+        for ordinal, region, value in raw:
+            key = (quarter(2020, 1) + ordinal, region)
+            if key in seen:
+                continue
+            seen[key] = value
+            rows.append(key + (value,))
+        cube = Cube.from_rows(schema, rows)
+        assert len(cube) == len(rows)
+        assert set(cube.to_rows()) == set(rows)
+
+
+class TestProgramEquivalenceProperty:
+    """The headline property: arbitrary valid programs run identically on
+    every executor.  Kept small so the suite stays fast."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_program_equivalence(self, seed):
+        workload = random_workload(
+            seed,
+            n_statements=4,
+            n_periods=10,
+            n_regions=2,
+            allow_table_functions=False,
+        )
+        program = Program.compile(workload.source, workload.schema)
+        mapping = generate_mapping(program)
+        backends = all_backends()
+        reference = backends["chase"].run_mapping(mapping, workload.data)
+        for name in ("sql", "r", "matlab", "etl"):
+            output = backends[name].run_mapping(mapping, workload.data)
+            for cube_name, expected in reference.items():
+                assert expected.approx_equals(output[cube_name], rel_tol=1e-8)

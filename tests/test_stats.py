@@ -1,0 +1,256 @@
+"""Tests for the statistical operator library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats import (
+    AGGREGATES,
+    centered_moving_average,
+    classical_decompose,
+    cumsum,
+    first_difference,
+    fitted_line,
+    get_aggregate,
+    index_to_base,
+    interpolate_gaps,
+    loess,
+    moving_average,
+    ols,
+    residuals,
+    standardize,
+    stl_decompose,
+    stl_remainder,
+    stl_seasonal,
+    stl_trend,
+)
+
+
+class TestAggregates:
+    def test_sum(self):
+        assert get_aggregate("sum")([1, 2, 3]) == 6.0
+
+    def test_avg(self):
+        assert get_aggregate("avg")([1, 2, 3]) == 2.0
+
+    def test_mean_alias(self):
+        assert get_aggregate("mean")([4, 6]) == 5.0
+
+    def test_median_odd(self):
+        assert get_aggregate("median")([5, 1, 3]) == 3.0
+
+    def test_median_even_interpolates(self):
+        assert get_aggregate("median")([1, 2, 3, 4]) == 2.5
+
+    def test_min_max_range(self):
+        assert get_aggregate("min")([3, 1]) == 1.0
+        assert get_aggregate("max")([3, 1]) == 3.0
+        assert get_aggregate("range")([3, 1]) == 2.0
+
+    def test_count(self):
+        assert get_aggregate("count")([7, 7, 7]) == 3.0
+        assert get_aggregate("count")([]) == 0.0
+
+    def test_var_stddev_population(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert get_aggregate("var")(values) == pytest.approx(4.0)
+        assert get_aggregate("stddev")(values) == pytest.approx(2.0)
+
+    def test_product(self):
+        assert get_aggregate("product")([2, 3, 4]) == 24.0
+
+    def test_geomean(self):
+        assert get_aggregate("geomean")([1, 100]) == pytest.approx(10.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(StatsError):
+            get_aggregate("geomean")([1.0, 0.0])
+
+    @pytest.mark.parametrize("name", ["sum", "avg", "min", "max", "median", "var"])
+    def test_empty_bag_raises(self, name):
+        with pytest.raises(StatsError):
+            get_aggregate(name)([])
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(StatsError):
+            get_aggregate("frobnicate")
+
+    def test_case_insensitive_lookup(self):
+        assert get_aggregate("SUM") is AGGREGATES["sum"]
+
+    def test_bag_semantics_duplicates_count(self):
+        # "repeated elements are meaningful"
+        assert get_aggregate("avg")([1, 1, 4]) == 2.0
+
+
+class TestSmoothing:
+    def test_moving_average_trailing(self):
+        assert moving_average([1, 2, 3, 4], 2) == [1.0, 1.5, 2.5, 3.5]
+
+    def test_moving_average_window_one_is_identity(self):
+        assert moving_average([3.0, 1.0], 1) == [3.0, 1.0]
+
+    def test_moving_average_bad_window(self):
+        with pytest.raises(StatsError):
+            moving_average([1], 0)
+
+    def test_centered_ma_constant_series(self):
+        out = centered_moving_average([5.0] * 10, 4)
+        assert all(v == pytest.approx(5.0) for v in out)
+
+    def test_centered_ma_linear_series_interior(self):
+        out = centered_moving_average(list(range(20)), 5)
+        # interior points of a linear series are preserved exactly
+        assert out[10] == pytest.approx(10.0)
+
+    def test_loess_constant(self):
+        assert loess([2.0] * 8, frac=0.5) == pytest.approx([2.0] * 8)
+
+    def test_loess_linear_recovery(self):
+        y = [2.0 * t + 1 for t in range(20)]
+        smoothed = loess(y, frac=0.4, degree=1)
+        assert smoothed == pytest.approx(y, abs=1e-6)
+
+    def test_loess_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(60)
+        noisy = 0.5 * t + rng.normal(0, 1, 60)
+        smoothed = np.asarray(loess(noisy.tolist(), frac=0.5))
+        assert np.std(noisy - 0.5 * t) > np.std(smoothed - 0.5 * t)
+
+    def test_loess_empty(self):
+        assert loess([]) == []
+
+    def test_loess_bad_frac(self):
+        with pytest.raises(StatsError):
+            loess([1.0], frac=0.0)
+
+    def test_loess_bad_degree(self):
+        with pytest.raises(StatsError):
+            loess([1.0, 2.0], degree=3)
+
+    def test_loess_mismatched_x(self):
+        with pytest.raises(StatsError):
+            loess([1.0, 2.0], x=[0.0])
+
+
+def _seasonal_series(n=48, period=4, trend=0.5, amp=8.0):
+    t = np.arange(n)
+    return (100 + trend * t + amp * np.sin(2 * np.pi * t / period)).tolist()
+
+
+class TestDecomposition:
+    def test_classical_reconstruction_identity(self):
+        series = _seasonal_series()
+        dec = classical_decompose(series, 4)
+        assert dec.reconstruct() == pytest.approx(series, abs=1e-9)
+
+    def test_stl_reconstruction_identity(self):
+        series = _seasonal_series()
+        dec = stl_decompose(series, 4)
+        assert dec.reconstruct() == pytest.approx(series, abs=1e-9)
+
+    def test_stl_trend_tracks_linear_growth(self):
+        series = _seasonal_series(trend=1.0, amp=10.0)
+        trend = stl_trend(series, 4)
+        # trend should rise by about 1 per step over the interior
+        interior = trend[8:-8]
+        slopes = [b - a for a, b in zip(interior, interior[1:])]
+        assert sum(slopes) / len(slopes) == pytest.approx(1.0, abs=0.2)
+
+    def test_stl_seasonal_sums_to_roughly_zero(self):
+        series = _seasonal_series()
+        seasonal = stl_seasonal(series, 4)
+        assert abs(sum(seasonal)) / len(seasonal) < 0.5
+
+    def test_stl_remainder_small_for_clean_series(self):
+        series = _seasonal_series()
+        remainder = stl_remainder(series, 4)
+        assert np.std(remainder[6:-6]) < 2.0
+
+    def test_short_series_raises(self):
+        with pytest.raises(StatsError, match="too short"):
+            stl_decompose([1.0] * 7, 4)
+
+    def test_bad_period_raises(self):
+        with pytest.raises(StatsError):
+            classical_decompose([1.0] * 10, 1)
+
+    def test_classical_seasonal_is_periodic(self):
+        series = _seasonal_series()
+        dec = classical_decompose(series, 4)
+        assert dec.seasonal[0] == pytest.approx(dec.seasonal[4])
+        assert dec.seasonal[1] == pytest.approx(dec.seasonal[5])
+
+
+class TestRegression:
+    def test_perfect_line(self):
+        fit = ols([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = ols([0, 1], [0, 2])
+        assert fit.predict([2, 3]) == pytest.approx([4.0, 6.0])
+
+    def test_constant_series_r_squared(self):
+        fit = ols([0, 1, 2], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == 1.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(StatsError):
+            ols([1], [1, 2])
+
+    def test_too_few_points(self):
+        with pytest.raises(StatsError):
+            ols([1], [1])
+
+    def test_fitted_plus_residuals_is_identity(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        total = [f + r for f, r in zip(fitted_line(values), residuals(values))]
+        assert total == pytest.approx(values)
+
+
+class TestSeriesOps:
+    def test_cumsum(self):
+        assert cumsum([1, 2, 3]) == [1, 3, 6]
+
+    def test_cumsum_empty(self):
+        assert cumsum([]) == []
+
+    def test_standardize_mean_zero_std_one(self):
+        z = standardize([1.0, 2.0, 3.0, 4.0])
+        assert sum(z) == pytest.approx(0.0)
+        assert math.sqrt(sum(v * v for v in z) / 4) == pytest.approx(1.0)
+
+    def test_standardize_constant_raises(self):
+        with pytest.raises(StatsError):
+            standardize([2.0, 2.0])
+
+    def test_first_difference(self):
+        assert first_difference([1, 4, 9]) == [3, 5]
+
+    def test_interpolate_interior(self):
+        assert interpolate_gaps([1.0, None, 3.0]) == [1.0, 2.0, 3.0]
+
+    def test_interpolate_edges_use_nearest(self):
+        assert interpolate_gaps([None, 2.0, None]) == [2.0, 2.0, 2.0]
+
+    def test_interpolate_all_none_raises(self):
+        with pytest.raises(StatsError):
+            interpolate_gaps([None, None])
+
+    def test_rebase(self):
+        assert index_to_base([50.0, 100.0], 0) == [100.0, 200.0]
+
+    def test_rebase_zero_base_raises(self):
+        with pytest.raises(StatsError):
+            index_to_base([0.0, 1.0], 0)
+
+    def test_rebase_bad_position(self):
+        with pytest.raises(StatsError):
+            index_to_base([1.0], 5)

@@ -1,0 +1,184 @@
+"""Tests for repro.model.time: time points, frequencies, conversions."""
+
+import pytest
+
+from repro.errors import TimeError
+from repro.model.time import (
+    Frequency,
+    TimePoint,
+    convert,
+    day,
+    month,
+    parse_timepoint,
+    quarter,
+    week,
+    year,
+)
+
+
+class TestConstruction:
+    def test_day_roundtrips_through_date(self):
+        d = day(2020, 2, 29)
+        assert d.to_date().isoformat() == "2020-02-29"
+
+    def test_invalid_date_raises(self):
+        with pytest.raises(TimeError):
+            day(2021, 2, 29)
+
+    def test_invalid_month_raises(self):
+        with pytest.raises(TimeError):
+            month(2020, 13)
+
+    def test_invalid_quarter_raises(self):
+        with pytest.raises(TimeError):
+            quarter(2020, 5)
+
+    def test_invalid_week_raises(self):
+        with pytest.raises(TimeError):
+            week(2021, 53)  # 2021 has 52 ISO weeks
+
+    def test_freq_must_be_enum(self):
+        with pytest.raises(TimeError):
+            TimePoint("Q", 3)
+
+    def test_ordinal_must_be_int(self):
+        with pytest.raises(TimeError):
+            TimePoint(Frequency.QUARTER, 3.5)
+
+
+class TestAccessors:
+    def test_quarter_fields(self):
+        q = quarter(2019, 3)
+        assert q.year == 2019
+        assert q.quarter_of_year == 3
+
+    def test_month_fields(self):
+        m = month(2019, 11)
+        assert m.year == 2019
+        assert m.month_of_year == 11
+        assert m.quarter_of_year == 4
+
+    def test_day_fields(self):
+        d = day(2019, 7, 15)
+        assert d.year == 2019
+        assert d.month_of_year == 7
+        assert d.quarter_of_year == 3
+
+    def test_year_has_no_quarter(self):
+        with pytest.raises(TimeError):
+            _ = year(2019).quarter_of_year
+
+    def test_quarter_has_no_month(self):
+        with pytest.raises(TimeError):
+            _ = quarter(2019, 1).month_of_year
+
+
+class TestArithmetic:
+    def test_shift_forward(self):
+        assert quarter(2019, 4).shift(1) == quarter(2020, 1)
+
+    def test_shift_backward(self):
+        assert month(2020, 1).shift(-1) == month(2019, 12)
+
+    def test_add_operator(self):
+        assert quarter(2020, 1) + 4 == quarter(2021, 1)
+
+    def test_sub_int(self):
+        assert quarter(2020, 1) - 1 == quarter(2019, 4)
+
+    def test_sub_timepoint_gives_distance(self):
+        assert quarter(2020, 3) - quarter(2020, 1) == 2
+
+    def test_sub_mixed_freq_raises(self):
+        with pytest.raises(TimeError):
+            _ = quarter(2020, 1) - month(2020, 1)
+
+    def test_shift_identity(self):
+        d = day(2020, 3, 1)
+        assert d.shift(5).shift(-5) == d
+
+    def test_day_shift_crosses_month(self):
+        assert day(2020, 1, 31).shift(1) == day(2020, 2, 1)
+
+    def test_week_shift_crosses_year(self):
+        w = week(2020, 52)
+        shifted = w.shift(2)
+        assert shifted.to_date() > w.to_date()
+
+
+class TestOrdering:
+    def test_same_freq_ordering(self):
+        assert quarter(2019, 4) < quarter(2020, 1)
+        assert month(2020, 5) >= month(2020, 5)
+
+    def test_cross_freq_comparison_raises(self):
+        with pytest.raises(TimeError):
+            _ = quarter(2020, 1) < month(2020, 1)
+
+    def test_equality_across_freq_is_false(self):
+        assert quarter(2020, 1) != year(2020)
+
+    def test_hashable(self):
+        assert len({quarter(2020, 1), quarter(2020, 1), quarter(2020, 2)}) == 2
+
+
+class TestConvert:
+    def test_day_to_quarter(self):
+        assert convert(day(2020, 2, 29), Frequency.QUARTER) == quarter(2020, 1)
+
+    def test_day_to_month(self):
+        assert convert(day(2020, 6, 30), Frequency.MONTH) == month(2020, 6)
+
+    def test_day_to_year(self):
+        assert convert(day(2020, 12, 31), Frequency.YEAR) == year(2020)
+
+    def test_month_to_quarter(self):
+        assert convert(month(2020, 4), Frequency.QUARTER) == quarter(2020, 2)
+
+    def test_quarter_to_year(self):
+        assert convert(quarter(2020, 4), Frequency.YEAR) == year(2020)
+
+    def test_day_to_week(self):
+        # 2020-01-01 is a Wednesday of ISO week 1
+        assert convert(day(2020, 1, 1), Frequency.WEEK) == week(2020, 1)
+
+    def test_identity_conversion(self):
+        q = quarter(2020, 1)
+        assert convert(q, Frequency.QUARTER) is q
+
+    def test_upsampling_raises(self):
+        with pytest.raises(TimeError):
+            convert(quarter(2020, 1), Frequency.DAY)
+
+    def test_week_boundary_year(self):
+        # 2019-12-30 belongs to ISO week 1 of 2020
+        assert convert(day(2019, 12, 30), Frequency.WEEK) == week(2020, 1)
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "point, text",
+        [
+            (day(2020, 3, 5), "2020-03-05"),
+            (month(2020, 3), "2020M03"),
+            (quarter(2020, 3), "2020Q3"),
+            (year(2020), "2020"),
+        ],
+    )
+    def test_str(self, point, text):
+        assert str(point) == text
+
+    @pytest.mark.parametrize(
+        "point",
+        [day(2021, 12, 31), week(2021, 7), month(1999, 1), quarter(2000, 4), year(1970)],
+    )
+    def test_parse_roundtrip(self, point):
+        assert parse_timepoint(str(point)) == point
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TimeError):
+            parse_timepoint("not-a-date")
+
+    def test_parse_rejects_bad_quarter(self):
+        with pytest.raises(TimeError):
+            parse_timepoint("2020Q7")
