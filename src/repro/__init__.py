@@ -43,7 +43,13 @@ from .backends import (
     SqlBackend,
     all_backends,
 )
-from .chase import StratifiedChase, cubes_from_instance, instance_from_cubes
+from .chase import (
+    ChaseCache,
+    ParallelStratifiedChase,
+    StratifiedChase,
+    cubes_from_instance,
+    instance_from_cubes,
+)
 from .engine import EXLEngine
 from .errors import ReproError
 from .exl import Program, default_registry, normalize_program, parse_program
@@ -88,6 +94,8 @@ __all__ = [
     "generate_mapping",
     "simplify_mapping",
     "StratifiedChase",
+    "ParallelStratifiedChase",
+    "ChaseCache",
     "instance_from_cubes",
     "cubes_from_instance",
     "SqlBackend",

@@ -2,11 +2,20 @@
 
 The chase is the reference executor: it applies the generated
 dependencies directly and is the yardstick every backend is tested
-against (the paper's equivalence theorem).
+against (the paper's equivalence theorem).  The scheduler module adds
+the stratum-parallel variant and the cube-level materialization cache;
+``ParallelStratifiedChase`` is solution-equivalent to the sequential
+``StratifiedChase``.
 """
 
 from .engine import ChaseResult, ChaseStats, StratifiedChase
 from .instance import RelationalInstance, cubes_from_instance, instance_from_cubes
+from .scheduler import (
+    ChaseCache,
+    ParallelStratifiedChase,
+    schedule_waves,
+    stratum_dag,
+)
 from .verify import check_egds, check_tgd, is_solution, violations
 
 __all__ = [
@@ -14,8 +23,12 @@ __all__ = [
     "instance_from_cubes",
     "cubes_from_instance",
     "StratifiedChase",
+    "ParallelStratifiedChase",
+    "ChaseCache",
     "ChaseResult",
     "ChaseStats",
+    "schedule_waves",
+    "stratum_dag",
     "check_egds",
     "check_tgd",
     "is_solution",

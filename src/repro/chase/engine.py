@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import ChaseError, MappingError
+from ..errors import ChaseError, ChaseSourceError, MappingError
 from ..mappings.dependencies import Atom, Tgd, TgdKind
 from ..mappings.mapping import SchemaMapping
 from ..mappings.terms import AggTerm, Const, FuncApp, Term, Var, evaluate
@@ -31,11 +31,21 @@ __all__ = ["ChaseStats", "ChaseResult", "StratifiedChase"]
 
 @dataclass
 class ChaseStats:
-    """Counters describing one chase run."""
+    """Counters describing one chase run.
+
+    ``waves``/``max_wave_width`` describe the stratum DAG schedule of
+    the parallel scheduler (a sequential run is one tgd per wave);
+    ``cache_hits``/``cache_misses`` count cube-level materialization
+    cache lookups (both stay 0 when no cache is attached).
+    """
 
     rule_applications: int = 0
     tuples_generated: int = 0
     per_tgd: Dict[str, int] = field(default_factory=dict)
+    waves: int = 0
+    max_wave_width: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -54,13 +64,22 @@ class StratifiedChase:
     matching — kept as an ablation knob (see bench_chase_ablation).
     """
 
-    def __init__(self, mapping: SchemaMapping, use_indexes: bool = True):
+    def __init__(
+        self,
+        mapping: SchemaMapping,
+        use_indexes: bool = True,
+        cache: Optional["ChaseCacheProtocol"] = None,
+    ):
         self.mapping = mapping
         self.registry = mapping.registry
         self.use_indexes = use_indexes
+        #: cube-level materialization cache (see chase.scheduler.ChaseCache);
+        #: duck-typed so the engine stays import-free of the scheduler.
+        self.cache = cache
 
     def run(self, source: RelationalInstance) -> ChaseResult:
         """Compute the data exchange solution for ``source``."""
+        self._check_source(source)
         stats = ChaseStats()
         target = RelationalInstance()
         # functional index: relation -> {dims: measure}, for egd checking
@@ -70,15 +89,70 @@ class StratifiedChase:
             produced = self._apply_copy(tgd, source, target, functional)
             self._record(stats, tgd, produced)
         for tgd in self.mapping.target_tgds:
-            produced = self._apply(tgd, target, functional)
+            produced = self._apply_cached(tgd, target, functional, stats)
             self._record(stats, tgd, produced)
+        stats.waves = len(self.mapping.target_tgds)
+        stats.max_wave_width = 1 if self.mapping.target_tgds else 0
         return ChaseResult(target, stats)
+
+    def _check_source(self, source: RelationalInstance) -> None:
+        """Every copy tgd's operand must exist in the source instance.
+
+        A relation that was never registered (not even empty) means the
+        caller forgot an input cube: silently chasing an empty relation
+        would just produce an inexplicably empty solution.
+        """
+        for tgd in self.mapping.st_tgds:
+            relation = tgd.lhs[0].relation
+            if relation not in source:
+                raise ChaseSourceError(
+                    f"tgd {tgd.label or tgd.target_relation!r} references "
+                    f"relation {relation!r}, which is absent from the source "
+                    f"instance (known relations: {sorted(source.relations())})"
+                )
 
     # -- rule application --------------------------------------------------
     def _record(self, stats: ChaseStats, tgd: Tgd, produced: int) -> None:
         stats.rule_applications += 1
         stats.tuples_generated += produced
         stats.per_tgd[tgd.label or tgd.target_relation] = produced
+
+    def _apply_cached(
+        self,
+        tgd: Tgd,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+        stats: ChaseStats,
+    ) -> int:
+        """Apply one target tgd, consulting the materialization cache.
+
+        Cached facts are *replayed through the egd-checking insert*, so
+        a hit can never mask a functionality violation against facts
+        contributed by other strata.
+        """
+        if self.cache is None:
+            return self._apply(tgd, target, functional)
+        key = self.cache.key_for(tgd, target)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._note_cache(stats, hit=True)
+            produced = 0
+            for fact in cached:
+                produced += self._insert(
+                    target, functional, tgd.target_relation, fact
+                )
+            return produced
+        self._note_cache(stats, hit=False)
+        produced = self._apply(tgd, target, functional)
+        self.cache.put(key, target.facts(tgd.target_relation))
+        return produced
+
+    def _note_cache(self, stats: ChaseStats, hit: bool) -> None:
+        """Stat-counter hook; the parallel scheduler serializes it."""
+        if hit:
+            stats.cache_hits += 1
+        else:
+            stats.cache_misses += 1
 
     def _apply(
         self,

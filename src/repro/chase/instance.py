@@ -7,6 +7,7 @@ and from relations by appending the measure as the last column, the
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Set, Tuple
 
 from ..errors import ChaseError
@@ -23,6 +24,29 @@ class RelationalInstance:
 
     def __init__(self):
         self._relations: Dict[str, Set[Fact]] = {}
+        # per-relation insert locks for the parallel chase scheduler;
+        # the master lock only guards lock/relation-slot creation
+        self._master_lock = threading.Lock()
+        self._locks: Dict[str, threading.Lock] = {}
+
+    def ensure(self, relation: str) -> None:
+        """Pre-create a relation's fact set and lock.
+
+        The parallel scheduler calls this for every relation before
+        spawning workers, so concurrent inserts into *different*
+        relations never mutate the outer dicts.
+        """
+        with self._master_lock:
+            self._relations.setdefault(relation, set())
+            self._locks.setdefault(relation, threading.Lock())
+
+    def lock(self, relation: str) -> threading.Lock:
+        """The insert lock of one relation (created on first use)."""
+        lock = self._locks.get(relation)
+        if lock is None:
+            with self._master_lock:
+                lock = self._locks.setdefault(relation, threading.Lock())
+        return lock
 
     def add(self, relation: str, fact: Fact) -> bool:
         """Insert a fact; returns True if it was new."""
@@ -66,6 +90,7 @@ def instance_from_cubes(cubes: Dict[str, Cube]) -> RelationalInstance:
     """Build an instance with one relation per cube (measure last)."""
     instance = RelationalInstance()
     for name, cube in cubes.items():
+        instance.ensure(name)
         instance.add_all(name, cube.to_rows())
     return instance
 

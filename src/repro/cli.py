@@ -125,8 +125,13 @@ def cmd_compile(args) -> int:
     return 0
 
 
-def _build_engine(project: Project) -> EXLEngine:
-    engine = EXLEngine()
+def _build_engine(
+    project: Project,
+    parallel: bool = False,
+    jobs: int = 4,
+    chase_cache: bool = True,
+) -> EXLEngine:
+    engine = EXLEngine(parallel=parallel, jobs=jobs, chase_cache=chase_cache)
     for schema in project.schemas:
         engine.declare_elementary(schema)
     engine.add_program(project.program_source, project.preferred_targets)
@@ -147,7 +152,12 @@ def cmd_explain(args) -> int:
 
 def cmd_run(args) -> int:
     project = load_project(args.project)
-    engine = _build_engine(project)
+    engine = _build_engine(
+        project,
+        parallel=args.parallel,
+        jobs=args.jobs,
+        chase_cache=not args.no_chase_cache,
+    )
     record = engine.run()
     print(record.summary())
     out_dir = Path(args.out)
@@ -188,6 +198,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     run = sub.add_parser("run", help="execute the program and export CSVs")
     run.add_argument("project")
     run.add_argument("--out", default="out", help="output directory for CSVs")
+    run.add_argument(
+        "--parallel",
+        action="store_true",
+        help="execute independent strata/subgraphs concurrently "
+        "(solution-equivalent to the sequential stratified chase)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker threads for parallel waves (default: 4)",
+    )
+    run.add_argument(
+        "--no-chase-cache",
+        action="store_true",
+        help="disable the cube-level chase materialization cache",
+    )
     run.set_defaults(func=cmd_run)
 
     args = parser.parse_args(argv)

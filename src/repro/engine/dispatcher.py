@@ -48,7 +48,10 @@ class Dispatcher:
         self, translated: Sequence[TranslatedSubgraph], record: RunRecord
     ) -> None:
         """Run all subgraphs, respecting inter-subgraph dependencies."""
-        for wave in self.waves(translated):
+        waves = self.waves(translated)
+        record.waves = len(waves)
+        record.max_wave_width = max((len(w) for w in waves), default=0)
+        for wave in waves:
             if self.parallel and len(wave) > 1:
                 with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                     results = list(pool.map(self._execute, wave))

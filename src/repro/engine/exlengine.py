@@ -20,7 +20,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..backends import Backend, all_backends
+from ..backends import Backend, ChaseBackend, all_backends
+from ..chase.scheduler import ChaseCache
 from ..errors import EngineError
 from ..exl.operators import OperatorRegistry, default_registry
 from ..exl.parser import parse_program
@@ -45,11 +46,25 @@ class EXLEngine:
         backends: Optional[Dict[str, Backend]] = None,
         target_priority: Sequence[str] = DEFAULT_TARGET_PRIORITY,
         parallel: bool = False,
+        jobs: int = 4,
+        chase_cache: bool = True,
     ):
         self.registry = registry or default_registry()
         self.backends = backends or all_backends()
         self.target_priority = tuple(target_priority)
         self.parallel = parallel
+        #: worker threads for parallel waves (dispatcher and chase scheduler)
+        self.jobs = max(1, int(jobs))
+        #: cube-level chase materialization cache, shared across runs so
+        #: incremental updates skip unchanged strata (None = disabled)
+        self.chase_cache: Optional[ChaseCache] = (
+            ChaseCache() if chase_cache else None
+        )
+        chase_backend = self.backends.get("chase")
+        if isinstance(chase_backend, ChaseBackend):
+            chase_backend.parallel = parallel
+            chase_backend.max_workers = self.jobs
+            chase_backend.cache = self.chase_cache
         self.catalog = MetadataCatalog()
         self.runs = RunLog()
         self._graph: Optional[DependencyGraph] = None
@@ -166,7 +181,13 @@ class EXLEngine:
         record = self.runs.open(changed, affected)
         record.determination_s = determination_s
         record.translation_s = translation_s
-        dispatcher = Dispatcher(self.catalog, self.graph, self.parallel, as_of=as_of)
+        dispatcher = Dispatcher(
+            self.catalog,
+            self.graph,
+            self.parallel,
+            max_workers=self.jobs,
+            as_of=as_of,
+        )
         dispatcher.dispatch(translated, record)
         self.runs.close(record)
         self._loaded_since_last_run = []

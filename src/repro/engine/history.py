@@ -41,6 +41,9 @@ class RunRecord:
     finished_at: float = 0.0
     determination_s: float = 0.0
     translation_s: float = 0.0
+    # dispatch schedule shape: dependency waves over the subgraphs
+    waves: int = 0
+    max_wave_width: int = 0
 
     @property
     def duration_s(self) -> float:

@@ -63,6 +63,10 @@ class ChaseError(ReproError):
     """The chase procedure failed (e.g. an egd violation on constants)."""
 
 
+class ChaseSourceError(ChaseError):
+    """A tgd references a relation absent from the source instance."""
+
+
 class SqlError(ReproError):
     """Base class for the mini SQL engine."""
 

@@ -20,6 +20,22 @@ from repro.model import (
 )
 from repro.workloads import gdp_example
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=4,
+        help="worker threads for the parallel chase scheduler tests",
+    )
+
+
+@pytest.fixture(scope="session")
+def chase_jobs(request) -> int:
+    """Worker count under test (CI runs the suite with 1 and with 4)."""
+    return request.config.getoption("--jobs")
+
+
 GDP_SOURCE = """\
 PQR := avg(PDR, group by quarter(d) as q, r)
 RGDP := PQR * RGDPPC
