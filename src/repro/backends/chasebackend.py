@@ -8,6 +8,7 @@ translation computes the same solution the chase does.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..chase.engine import StratifiedChase
@@ -25,8 +26,15 @@ __all__ = ["ChaseBackend"]
 class _ChaseStore:
     """Running chase state: the target instance plus the functional index."""
 
-    def __init__(self, mapping: SchemaMapping):
-        self.engine = StratifiedChase(mapping)
+    def __init__(
+        self,
+        mapping: SchemaMapping,
+        vectorized: Optional[bool] = None,
+        kernel_hook=None,
+    ):
+        self.engine = StratifiedChase(
+            mapping, vectorized=vectorized, kernel_hook=kernel_hook
+        )
         self.instance = RelationalInstance()
         self.functional: Dict[str, Dict[Tuple, float]] = {}
 
@@ -48,10 +56,25 @@ class ChaseBackend(Backend):
         parallel: bool = False,
         max_workers: int = 4,
         cache: Optional[ChaseCache] = None,
+        vectorized: Optional[bool] = None,
     ):
         self.parallel = parallel
         self.max_workers = max_workers
         self.cache = cache
+        #: columnar kernels on/off (``None`` = engine default, i.e. on)
+        self.vectorized = vectorized
+        # kernel decisions aggregated across every chase this backend
+        # runs; the dispatcher may execute subgraphs concurrently
+        self.vectorized_tgds = 0
+        self.fallback_tgds = 0
+        self._kernel_lock = threading.Lock()
+
+    def _on_kernel(self, used: bool) -> None:
+        with self._kernel_lock:
+            if used:
+                self.vectorized_tgds += 1
+            else:
+                self.fallback_tgds += 1
 
     def run_mapping(
         self,
@@ -70,10 +93,19 @@ class ChaseBackend(Backend):
             source.add_all(name, inputs[name].to_rows())
         if self.parallel:
             chase = ParallelStratifiedChase(
-                mapping, max_workers=self.max_workers, cache=self.cache
+                mapping,
+                max_workers=self.max_workers,
+                cache=self.cache,
+                vectorized=self.vectorized,
+                kernel_hook=self._on_kernel,
             )
         else:
-            chase = StratifiedChase(mapping, cache=self.cache)
+            chase = StratifiedChase(
+                mapping,
+                cache=self.cache,
+                vectorized=self.vectorized,
+                kernel_hook=self._on_kernel,
+            )
         result = chase.run(source)
         if wanted is None:
             wanted = [
@@ -87,7 +119,9 @@ class ChaseBackend(Backend):
         }
 
     def new_store(self, mapping: SchemaMapping) -> _ChaseStore:
-        return _ChaseStore(mapping)
+        return _ChaseStore(
+            mapping, vectorized=self.vectorized, kernel_hook=self._on_kernel
+        )
 
     def load_cube(self, store: _ChaseStore, cube: Cube) -> None:
         for row in cube.to_rows():

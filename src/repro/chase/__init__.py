@@ -5,10 +5,13 @@ dependencies directly and is the yardstick every backend is tested
 against (the paper's equivalence theorem).  The scheduler module adds
 the stratum-parallel variant and the cube-level materialization cache;
 ``ParallelStratifiedChase`` is solution-equivalent to the sequential
-``StratifiedChase``.
+``StratifiedChase``.  The columnar module holds the vectorized tgd
+kernels (``vectorized=True``, the default); ``vectorized=False`` keeps
+the tuple-at-a-time path as the bit-exact ablation baseline.
 """
 
-from .engine import ChaseResult, ChaseStats, StratifiedChase
+from .columnar import ColumnarRelation, EncodedColumn, FallbackUnsupported
+from .engine import DEFAULT_VECTORIZED, ChaseResult, ChaseStats, StratifiedChase
 from .instance import RelationalInstance, cubes_from_instance, instance_from_cubes
 from .scheduler import (
     ChaseCache,
@@ -19,6 +22,10 @@ from .scheduler import (
 from .verify import check_egds, check_tgd, is_solution, violations
 
 __all__ = [
+    "ColumnarRelation",
+    "EncodedColumn",
+    "FallbackUnsupported",
+    "DEFAULT_VECTORIZED",
     "RelationalInstance",
     "instance_from_cubes",
     "cubes_from_instance",

@@ -16,7 +16,7 @@ invariant (and is exercised by tests with hand-built broken mappings).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Collection, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ChaseError, ChaseSourceError, MappingError
 from ..mappings.dependencies import Atom, Tgd, TgdKind
@@ -24,9 +24,15 @@ from ..mappings.mapping import SchemaMapping
 from ..mappings.terms import AggTerm, Const, FuncApp, Term, Var, evaluate
 from ..model.time import TimePoint
 from ..stats.aggregates import get_aggregate
+from . import columnar
 from .instance import RelationalInstance
 
-__all__ = ["ChaseStats", "ChaseResult", "StratifiedChase"]
+__all__ = ["ChaseStats", "ChaseResult", "StratifiedChase", "DEFAULT_VECTORIZED"]
+
+#: Default for ``StratifiedChase(vectorized=None)``.  Read at
+#: construction time, so the test harness can flip it process-wide
+#: (``pytest --no-vectorize``) without threading a flag everywhere.
+DEFAULT_VECTORIZED = True
 
 
 @dataclass
@@ -46,6 +52,11 @@ class ChaseStats:
     max_wave_width: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    # target tgds that ran on a columnar kernel vs. the ones that fell
+    # back to the tuple-at-a-time path (table functions, outer
+    # vectorials, …).  Both stay 0 with ``vectorized=False``.
+    vectorized_tgds: int = 0
+    fallback_tgds: int = 0
 
 
 @dataclass
@@ -69,6 +80,8 @@ class StratifiedChase:
         mapping: SchemaMapping,
         use_indexes: bool = True,
         cache: Optional["ChaseCacheProtocol"] = None,
+        vectorized: Optional[bool] = None,
+        kernel_hook=None,
     ):
         self.mapping = mapping
         self.registry = mapping.registry
@@ -76,6 +89,24 @@ class StratifiedChase:
         #: cube-level materialization cache (see chase.scheduler.ChaseCache);
         #: duck-typed so the engine stays import-free of the scheduler.
         self.cache = cache
+        #: columnar kernels on/off; ``None`` defers to the module default
+        self.vectorized = (
+            DEFAULT_VECTORIZED if vectorized is None else bool(vectorized)
+        )
+        #: optional ``hook(used: bool)`` called per target-tgd kernel
+        #: decision (ChaseBackend aggregates counters across runs here)
+        self.kernel_hook = kernel_hook
+        # compiled kernel plans, keyed by tgd identity
+        self._kernel_plans: Dict[int, Tuple[Tgd, Any]] = {}
+        # relations written by exactly one tgd: the functional index is
+        # only ever *read* by a later tgd writing the same relation, so
+        # a single-writer batch whose keys are proven distinct can skip
+        # populating it (mappings generated from programs define every
+        # cube once; hand-built multi-writer mappings keep the index)
+        writers: Dict[str, int] = {}
+        for tgd in list(mapping.st_tgds) + list(mapping.target_tgds):
+            writers[tgd.target_relation] = writers.get(tgd.target_relation, 0) + 1
+        self._single_writer = {r for r, count in writers.items() if count == 1}
 
     def run(self, source: RelationalInstance) -> ChaseResult:
         """Compute the data exchange solution for ``source``."""
@@ -131,7 +162,7 @@ class StratifiedChase:
         contributed by other strata.
         """
         if self.cache is None:
-            return self._apply(tgd, target, functional)
+            return self._apply(tgd, target, functional, stats)
         key = self.cache.key_for(tgd, target)
         cached = self.cache.get(key)
         if cached is not None:
@@ -143,7 +174,7 @@ class StratifiedChase:
                 )
             return produced
         self._note_cache(stats, hit=False)
-        produced = self._apply(tgd, target, functional)
+        produced = self._apply(tgd, target, functional, stats)
         self.cache.put(key, target.facts(tgd.target_relation))
         return produced
 
@@ -154,7 +185,42 @@ class StratifiedChase:
         else:
             stats.cache_misses += 1
 
+    def _note_kernel(self, stats: Optional[ChaseStats], used: bool) -> None:
+        """Record one kernel decision; the parallel scheduler serializes it."""
+        if stats is not None:
+            if used:
+                stats.vectorized_tgds += 1
+            else:
+                stats.fallback_tgds += 1
+        if self.kernel_hook is not None:
+            self.kernel_hook(used)
+
     def _apply(
+        self,
+        tgd: Tgd,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+        stats: Optional[ChaseStats] = None,
+    ) -> int:
+        if self.vectorized:
+            try:
+                produced = columnar.apply_vectorized(
+                    tgd,
+                    target,
+                    target,
+                    functional,
+                    self.registry,
+                    self._insert_batch,
+                    self._kernel_plans,
+                )
+            except columnar.FallbackUnsupported:
+                self._note_kernel(stats, used=False)
+            else:
+                self._note_kernel(stats, used=True)
+                return produced
+        return self._apply_scalar(tgd, target, functional)
+
+    def _apply_scalar(
         self,
         tgd: Tgd,
         target: RelationalInstance,
@@ -177,8 +243,19 @@ class StratifiedChase:
         target: RelationalInstance,
         functional: Dict[str, Dict[Tuple, Any]],
     ) -> int:
-        produced = 0
         relation = tgd.lhs[0].relation
+        if self.vectorized:
+            # materialized as a list on purpose: set.update of a *set*
+            # presizes the target table, which changes the final set
+            # layout away from what per-fact inserts build — the
+            # insertion-sequence invariant needs the element-wise path
+            return self._insert_batch(
+                target,
+                functional,
+                tgd.target_relation,
+                list(source.facts(relation)),
+            )
+        produced = 0
         for fact in source.facts(relation):
             produced += self._insert(target, functional, tgd.target_relation, fact)
         return produced
@@ -398,6 +475,53 @@ class StratifiedChase:
             return 0
         seen[dims] = measure
         return 1 if target.add(relation, fact) else 0
+
+    def _insert_batch(
+        self,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+        relation: str,
+        facts: Collection[Tuple],
+        dims: Optional[List[Tuple]] = None,
+        measures: Optional[List[Any]] = None,
+        assume_unique: bool = False,
+    ) -> int:
+        """Insert a batch of facts with a batched egd check.
+
+        ``facts`` must be in the order the scalar path would insert
+        them — the relation's insertion sequence (hence fact-set
+        iteration order) must not depend on which path ran.  When the
+        relation is still empty the functionality check reduces to
+        duplicate-key detection over the batch itself; the kernels
+        pass ``assume_unique=True`` when they already proved key
+        distinctness columnarly.  Any remaining case replays through
+        the per-fact egd-checking insert, raising the identical
+        :class:`ChaseError`.
+        """
+        if not facts:
+            return 0
+        seen = functional.setdefault(relation, {})
+        if not seen and not target.size(relation):
+            single = relation in self._single_writer
+            if assume_unique and single:
+                # keys proven distinct and nothing will ever consult
+                # the functional index again: the egd cannot fire
+                return target.add_batch(relation, facts)
+            if dims is None:
+                dims = [fact[:-1] for fact in facts]
+                measures = [fact[-1] for fact in facts]
+            if assume_unique:
+                seen.update(zip(dims, measures))
+                return target.add_batch(relation, facts)
+            merged = dict(zip(dims, measures))
+            if len(merged) == len(facts):
+                if not single:
+                    seen.update(merged)
+                return target.add_batch(relation, facts)
+        produced = 0
+        for fact in facts:
+            produced += self._insert(target, functional, relation, fact)
+        return produced
 
 
 def _determined(term: Term, bound: set) -> bool:

@@ -28,6 +28,10 @@ class RelationalInstance:
         # the master lock only guards lock/relation-slot creation
         self._master_lock = threading.Lock()
         self._locks: Dict[str, threading.Lock] = {}
+        # per-relation columnar images (chase.columnar.ColumnarRelation),
+        # invalidated on any mutation; kept opaque so this module stays
+        # NumPy-free
+        self._columnar: Dict[str, Any] = {}
 
     def ensure(self, relation: str) -> None:
         """Pre-create a relation's fact set and lock.
@@ -38,14 +42,18 @@ class RelationalInstance:
         """
         with self._master_lock:
             self._relations.setdefault(relation, set())
-            self._locks.setdefault(relation, threading.Lock())
+            self._locks.setdefault(relation, threading.RLock())
 
     def lock(self, relation: str) -> threading.Lock:
-        """The insert lock of one relation (created on first use)."""
+        """The insert lock of one relation (created on first use).
+
+        Reentrant, so a batch insert holding the lock may replay facts
+        through the single-fact locked insert path.
+        """
         lock = self._locks.get(relation)
         if lock is None:
             with self._master_lock:
-                lock = self._locks.setdefault(relation, threading.Lock())
+                lock = self._locks.setdefault(relation, threading.RLock())
         return lock
 
     def add(self, relation: str, fact: Fact) -> bool:
@@ -53,7 +61,20 @@ class RelationalInstance:
         facts = self._relations.setdefault(relation, set())
         before = len(facts)
         facts.add(tuple(fact))
+        self._columnar.pop(relation, None)
         return len(facts) != before
+
+    def add_batch(self, relation: str, facts: Iterable[Fact]) -> int:
+        """Insert many facts at once; returns how many were new.
+
+        Facts are added in iteration order, so the relation's insertion
+        sequence is the same as a loop of :meth:`add` calls.
+        """
+        existing = self._relations.setdefault(relation, set())
+        before = len(existing)
+        existing.update(facts)
+        self._columnar.pop(relation, None)
+        return len(existing) - before
 
     def add_all(self, relation: str, facts: Iterable[Fact]) -> int:
         count = 0
@@ -64,6 +85,14 @@ class RelationalInstance:
 
     def facts(self, relation: str) -> Set[Fact]:
         return self._relations.get(relation, set())
+
+    def get_columnar(self, relation: str):
+        """The cached columnar image of one relation, if still valid."""
+        return self._columnar.get(relation)
+
+    def set_columnar(self, relation: str, value: Any) -> None:
+        """Cache a relation's columnar image (dropped on next mutation)."""
+        self._columnar[relation] = value
 
     def relations(self) -> List[str]:
         return list(self._relations)

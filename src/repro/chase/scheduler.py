@@ -194,8 +194,16 @@ class ParallelStratifiedChase(StratifiedChase):
         use_indexes: bool = True,
         max_workers: int = 4,
         cache: Optional[ChaseCache] = None,
+        vectorized: Optional[bool] = None,
+        kernel_hook=None,
     ):
-        super().__init__(mapping, use_indexes, cache=cache)
+        super().__init__(
+            mapping,
+            use_indexes,
+            cache=cache,
+            vectorized=vectorized,
+            kernel_hook=kernel_hook,
+        )
         self.max_workers = max(1, int(max_workers))
         self._stats_lock = threading.Lock()
         # validate the schedule eagerly: a cyclic or racy mapping should
@@ -256,6 +264,10 @@ class ParallelStratifiedChase(StratifiedChase):
         with self._stats_lock:
             super()._note_cache(stats, hit)
 
+    def _note_kernel(self, stats, used: bool) -> None:
+        with self._stats_lock:
+            super()._note_kernel(stats, used)
+
     def _insert(
         self,
         target: RelationalInstance,
@@ -265,3 +277,25 @@ class ParallelStratifiedChase(StratifiedChase):
     ) -> int:
         with target.lock(relation):
             return super()._insert(target, functional, relation, fact)
+
+    def _insert_batch(
+        self,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+        relation: str,
+        facts,
+        dims=None,
+        measures=None,
+        assume_unique: bool = False,
+    ) -> int:
+        with target.lock(relation):
+            return StratifiedChase._insert_batch(
+                self,
+                target,
+                functional,
+                relation,
+                facts,
+                dims=dims,
+                measures=measures,
+                assume_unique=assume_unique,
+            )

@@ -130,8 +130,14 @@ def _build_engine(
     parallel: bool = False,
     jobs: int = 4,
     chase_cache: bool = True,
+    vectorize: bool = True,
 ) -> EXLEngine:
-    engine = EXLEngine(parallel=parallel, jobs=jobs, chase_cache=chase_cache)
+    engine = EXLEngine(
+        parallel=parallel,
+        jobs=jobs,
+        chase_cache=chase_cache,
+        vectorize=vectorize,
+    )
     for schema in project.schemas:
         engine.declare_elementary(schema)
     engine.add_program(project.program_source, project.preferred_targets)
@@ -157,6 +163,7 @@ def cmd_run(args) -> int:
         parallel=args.parallel,
         jobs=args.jobs,
         chase_cache=not args.no_chase_cache,
+        vectorize=not args.no_vectorize,
     )
     record = engine.run()
     print(record.summary())
@@ -215,6 +222,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-chase-cache",
         action="store_true",
         help="disable the cube-level chase materialization cache",
+    )
+    run.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="disable the columnar chase kernels and run the "
+        "tuple-at-a-time chase (bit-exact ablation baseline)",
     )
     run.set_defaults(func=cmd_run)
 

@@ -48,6 +48,7 @@ class EXLEngine:
         parallel: bool = False,
         jobs: int = 4,
         chase_cache: bool = True,
+        vectorize: Optional[bool] = None,
     ):
         self.registry = registry or default_registry()
         self.backends = backends or all_backends()
@@ -55,6 +56,8 @@ class EXLEngine:
         self.parallel = parallel
         #: worker threads for parallel waves (dispatcher and chase scheduler)
         self.jobs = max(1, int(jobs))
+        #: columnar chase kernels on/off (None = engine default, i.e. on)
+        self.vectorize = vectorize
         #: cube-level chase materialization cache, shared across runs so
         #: incremental updates skip unchanged strata (None = disabled)
         self.chase_cache: Optional[ChaseCache] = (
@@ -65,6 +68,7 @@ class EXLEngine:
             chase_backend.parallel = parallel
             chase_backend.max_workers = self.jobs
             chase_backend.cache = self.chase_cache
+            chase_backend.vectorized = vectorize
         self.catalog = MetadataCatalog()
         self.runs = RunLog()
         self._graph: Optional[DependencyGraph] = None
@@ -181,6 +185,13 @@ class EXLEngine:
         record = self.runs.open(changed, affected)
         record.determination_s = determination_s
         record.translation_s = translation_s
+        chase_backend = self.backends.get("chase")
+        count_kernels = isinstance(chase_backend, ChaseBackend)
+        if count_kernels:
+            kernels_before = (
+                chase_backend.vectorized_tgds,
+                chase_backend.fallback_tgds,
+            )
         dispatcher = Dispatcher(
             self.catalog,
             self.graph,
@@ -189,6 +200,13 @@ class EXLEngine:
             as_of=as_of,
         )
         dispatcher.dispatch(translated, record)
+        if count_kernels:
+            record.vectorized_tgds = (
+                chase_backend.vectorized_tgds - kernels_before[0]
+            )
+            record.fallback_tgds = (
+                chase_backend.fallback_tgds - kernels_before[1]
+            )
         self.runs.close(record)
         self._loaded_since_last_run = []
         return record

@@ -44,6 +44,10 @@ class RunRecord:
     # dispatch schedule shape: dependency waves over the subgraphs
     waves: int = 0
     max_wave_width: int = 0
+    # chase kernel decisions: target tgds run on columnar kernels vs.
+    # fallen back to the tuple-at-a-time path during this run
+    vectorized_tgds: int = 0
+    fallback_tgds: int = 0
 
     @property
     def duration_s(self) -> float:
@@ -59,7 +63,9 @@ class RunRecord:
             f"affected={len(self.affected)} cubes in {len(self.subgraphs)} "
             f"subgraphs, {self.duration_s:.3f}s total "
             f"(determination {self.determination_s * 1000:.1f}ms, "
-            f"translation {self.translation_s * 1000:.1f}ms)"
+            f"translation {self.translation_s * 1000:.1f}ms, "
+            f"chase kernels {self.vectorized_tgds} vectorized / "
+            f"{self.fallback_tgds} fallback)"
         ]
         for record in self.subgraphs:
             lines.append(

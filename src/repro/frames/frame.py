@@ -77,17 +77,37 @@ class DataFrame:
         return DataFrame({n: list(v) for n, v in self._data.items()})
 
     # -- column manipulation ---------------------------------------------------
+    def _check_length(self, name: str, values: List[Any]) -> None:
+        """Every mutation validates: columns stay equal-length.
+
+        The first column of an empty frame establishes the row count;
+        anything after that must match it exactly.
+        """
+        if self._data and len(values) != self.nrow:
+            raise FrameError(
+                f"column {name!r} has length {len(values)}, frame has "
+                f"{self.nrow} rows"
+            )
+
     def assign(self, name: str, values: Sequence[Any]) -> "DataFrame":
         """A new frame with column ``name`` set to ``values``."""
         values = list(values)
-        if self._data and len(values) != self.nrow:
-            raise FrameError(
-                f"assigned column {name!r} has length {len(values)}, frame has "
-                f"{self.nrow} rows"
-            )
+        self._check_length(name, values)
         out = self.copy()
         out._data[name] = values
         return out
+
+    def add_column(self, name: str, values: Sequence[Any]) -> "DataFrame":
+        """Add or replace a column *in place* (R's ``df$x <- …``).
+
+        Raises :class:`FrameError` on a length mismatch — including on
+        frames built from an empty dict that already gained columns.
+        Returns ``self`` for chaining.
+        """
+        values = list(values)
+        self._check_length(name, values)
+        self._data[name] = values
+        return self
 
     def select(self, names: Sequence[str]) -> "DataFrame":
         return DataFrame({n: list(self.column(n)) for n in names})

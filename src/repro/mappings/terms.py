@@ -25,9 +25,23 @@ from ..errors import MappingError, OperatorError
 from ..exl.operators import OperatorRegistry, OpKind
 from ..model.time import TimePoint
 
-__all__ = ["Term", "Var", "Const", "FuncApp", "AggTerm", "evaluate", "substitute", "term_vars"]
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "FuncApp",
+    "AggTerm",
+    "evaluate",
+    "substitute",
+    "term_vars",
+    "apply_function",
+    "ARITH_OPS",
+]
 
 _ARITH = {"+", "-", "*", "/", "^"}
+
+#: The operator symbols evaluated as built-in binary arithmetic.
+ARITH_OPS = frozenset(_ARITH)
 
 
 class Term:
@@ -139,6 +153,17 @@ def evaluate(term: Term, env: Dict[str, Any], registry: OperatorRegistry) -> Any
         args = [evaluate(a, env, registry) for a in term.args]
         return _apply(term.name, args, registry)
     raise MappingError(f"unknown term type {type(term).__name__}")
+
+
+def apply_function(name: str, args, registry: OperatorRegistry) -> Any:
+    """Apply one function/operator to already-evaluated arguments.
+
+    This is the single evaluation step :func:`evaluate` performs at a
+    :class:`FuncApp` node, exposed so columnar kernels can reuse the
+    exact same arithmetic, operator-kind checks, and error messages.
+    ``registry`` may be ``None`` for the built-in arithmetic operators.
+    """
+    return _apply(name, args, registry)
 
 
 def _apply(name: str, args, registry: OperatorRegistry) -> Any:

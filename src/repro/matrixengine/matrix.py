@@ -23,11 +23,15 @@ class Matrix:
 
     def __init__(self, data: Sequence[Sequence[Any]]):
         rows = [tuple(row) for row in data]
-        if rows:
-            width = len(rows[0])
-            if any(len(r) != width for r in rows):
-                raise MatrixError("ragged rows in matrix literal")
-        self._array = np.empty((len(rows), len(rows[0]) if rows else 0), dtype=object)
+        if not rows:
+            # Matrix([]) and from_rows() of an exhausted iterator agree
+            # on the 0×0 matrix
+            self._array = np.empty((0, 0), dtype=object)
+            return
+        width = len(rows[0])
+        if any(len(r) != width for r in rows):
+            raise MatrixError("ragged rows in matrix literal")
+        self._array = np.empty((len(rows), width), dtype=object)
         for i, row in enumerate(rows):
             for j, value in enumerate(row):
                 self._array[i, j] = value

@@ -86,6 +86,14 @@ class TimePoint:
             raise TimeError(f"freq must be a Frequency, got {self.freq!r}")
         if not isinstance(self.ordinal, int):
             raise TimeError(f"ordinal must be an int, got {self.ordinal!r}")
+        # time points are hashed far more often than constructed (fact
+        # sets, functional indexes, dictionary encoding), and the
+        # generated dataclass hash builds a fresh (freq, ordinal) tuple
+        # per call — precompute the same value once instead
+        object.__setattr__(self, "_hash", hash((self.freq, self.ordinal)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # -- ordering -----------------------------------------------------
     def __lt__(self, other: "TimePoint") -> bool:

@@ -28,6 +28,21 @@ def pytest_addoption(parser):
         default=4,
         help="worker threads for the parallel chase scheduler tests",
     )
+    parser.addoption(
+        "--no-vectorize",
+        action="store_true",
+        default=False,
+        help="run every chase in the suite on the tuple-at-a-time path "
+        "(CI runs the suite both ways)",
+    )
+
+
+def pytest_configure(config):
+    # flip the process-wide default; StratifiedChase reads it at
+    # construction time, so every chase in the suite follows the flag
+    import repro.chase.engine as chase_engine
+
+    chase_engine.DEFAULT_VECTORIZED = not config.getoption("--no-vectorize")
 
 
 @pytest.fixture(scope="session")

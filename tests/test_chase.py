@@ -347,3 +347,23 @@ class TestSolutions:
         mapping, result = _run("C := cumsum(S)", series_schema, {"S": cube})
         tgd = mapping.tgd_for("C")
         assert check_tgd(tgd, result.instance, mapping) == []
+
+
+class TestChaseSourceErrorContent:
+    def test_known_relations_are_listed_sorted(self, series_schema):
+        program = Program.compile("C := S * 2", series_schema)
+        mapping = generate_mapping(program)
+        source = RelationalInstance()
+        source.add("ZULU", (quarter(2020, 1), 1.0))
+        source.add("ALPHA", (quarter(2020, 1), 1.0))
+        with pytest.raises(ChaseSourceError) as excinfo:
+            StratifiedChase(mapping).run(source)
+        message = str(excinfo.value)
+        assert "references relation 'S'" in message
+        assert "['ALPHA', 'ZULU']" in message
+
+    def test_message_names_the_offending_tgd(self, series_schema):
+        program = Program.compile("C := S * 2", series_schema)
+        mapping = generate_mapping(program)
+        with pytest.raises(ChaseSourceError, match="tgd 'S'"):
+            StratifiedChase(mapping).run(RelationalInstance())

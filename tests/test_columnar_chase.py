@@ -1,0 +1,290 @@
+"""Equivalence suite for the columnar chase kernels.
+
+The ablation contract: ``StratifiedChase(vectorized=True)`` (the
+default) computes the *same solution instance* as the tuple-at-a-time
+``vectorized=False`` path — tuple for tuple, and even insertion-order
+for insertion-order (fact-set iteration order is checked with ``list``
+equality, not just set equality, because downstream aggregation bags
+and the materialization cache depend on it).  The suite proves this
+over ≥50 seeded-random programs covering scalar arithmetic, vectorial
+joins, shifts, aggregations, outer vectorials, and table functions,
+plus targeted failure-identity cases (egd violations, division by
+zero) and the composition with ``--parallel`` and the ``ChaseCache``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chase import (
+    ChaseCache,
+    ColumnarRelation,
+    FallbackUnsupported,
+    ParallelStratifiedChase,
+    RelationalInstance,
+    StratifiedChase,
+    instance_from_cubes,
+)
+from repro.chase.columnar import EncodedColumn
+from repro.errors import ChaseError, OperatorError
+from repro.exl import Program
+from repro.mappings import (
+    Atom,
+    Egd,
+    SchemaMapping,
+    Tgd,
+    TgdKind,
+    Var,
+    generate_mapping,
+    simplify_mapping,
+)
+from repro.model import TIME, Cube, CubeSchema, Dimension, Frequency, Schema, quarter
+from repro.workloads import gdp_example, random_workload
+
+
+def _both_modes(workload, simplify=False):
+    program = Program.compile(workload.source, workload.schema)
+    mapping = generate_mapping(program)
+    if simplify:
+        mapping = simplify_mapping(mapping)
+    source = instance_from_cubes(workload.data)
+    scalar = StratifiedChase(mapping, vectorized=False).run(source)
+    vector = StratifiedChase(mapping, vectorized=True).run(source)
+    return mapping, source, scalar, vector
+
+
+def _assert_identical(scalar, vector):
+    """Insertion-sequence equality of the two solution instances.
+
+    ``list`` equality over the fact sets is deliberately stronger than
+    set equality: identical iteration order proves the vectorized path
+    inserted every fact in the exact order the scalar path did.
+    """
+    assert sorted(scalar.instance.relations()) == sorted(
+        vector.instance.relations()
+    )
+    for relation in scalar.instance.relations():
+        assert list(scalar.instance.facts(relation)) == list(
+            vector.instance.facts(relation)
+        ), f"relation {relation} differs between scalar and vectorized chase"
+
+
+@pytest.fixture
+def series_schema():
+    return Schema([CubeSchema("S", [Dimension("q", TIME(Frequency.QUARTER))], "v")])
+
+
+@pytest.fixture
+def series_cube(series_schema):
+    return Cube.from_series(
+        series_schema["S"], quarter(2020, 1), [10.0, 20.0, 30.0, 40.0]
+    )
+
+
+class TestRandomProgramEquivalence:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_vectorized_equals_scalar(self, seed):
+        workload = random_workload(
+            seed, n_statements=7, n_periods=10, n_regions=2
+        )
+        _, _, scalar, vector = _both_modes(workload)
+        _assert_identical(scalar, vector)
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_identical_stats(self, seed):
+        workload = random_workload(
+            seed + 200, n_statements=6, n_periods=8, n_regions=2
+        )
+        _, _, scalar, vector = _both_modes(workload)
+        assert scalar.stats.tuples_generated == vector.stats.tuples_generated
+        assert scalar.stats.per_tgd == vector.stats.per_tgd
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_simplified_mapping_equivalence(self, seed):
+        workload = random_workload(
+            seed + 900, n_statements=5, n_periods=10, allow_table_functions=False
+        )
+        _, _, scalar, vector = _both_modes(workload, simplify=True)
+        _assert_identical(scalar, vector)
+
+    def test_gdp_workload(self):
+        workload = gdp_example(n_quarters=10, regions=("north", "south"), seed=3)
+        _, _, scalar, vector = _both_modes(workload)
+        _assert_identical(scalar, vector)
+
+
+class TestComposition:
+    """Vectorized kernels compose with --parallel and the ChaseCache."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_parallel_vectorized_equals_sequential_scalar(self, seed, chase_jobs):
+        workload = random_workload(
+            seed + 50, n_statements=7, n_periods=10, n_regions=2
+        )
+        program = Program.compile(workload.source, workload.schema)
+        mapping = generate_mapping(program)
+        source = instance_from_cubes(workload.data)
+        scalar = StratifiedChase(mapping, vectorized=False).run(source)
+        parallel = ParallelStratifiedChase(
+            mapping, max_workers=chase_jobs, vectorized=True
+        ).run(source)
+        _assert_identical(scalar, parallel)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cache_replay_matches(self, seed):
+        # cache replay re-inserts facts in cached order on BOTH paths,
+        # so the contract is pairwise: scalar-with-cache and
+        # vectorized-with-cache stay insertion-identical run for run
+        # (and content-identical to the cacheless chase)
+        workload = random_workload(
+            seed + 300, n_statements=6, n_periods=8, n_regions=2
+        )
+        program = Program.compile(workload.source, workload.schema)
+        mapping = generate_mapping(program)
+        source = instance_from_cubes(workload.data)
+        cacheless = StratifiedChase(mapping, vectorized=False).run(source)
+        scalar_chase = StratifiedChase(
+            mapping, cache=ChaseCache(), vectorized=False
+        )
+        vector_chase = StratifiedChase(
+            mapping, cache=ChaseCache(), vectorized=True
+        )
+        firsts = scalar_chase.run(source), vector_chase.run(source)
+        seconds = scalar_chase.run(source), vector_chase.run(source)
+        _assert_identical(*firsts)
+        _assert_identical(*seconds)
+        for relation in cacheless.instance.relations():
+            assert cacheless.instance.facts(relation) == seconds[1].instance.facts(
+                relation
+            )
+        assert seconds[1].stats.cache_hits == len(mapping.target_tgds)
+        assert seconds[1].stats.vectorized_tgds == 0  # hits skip the kernels
+
+    def test_fallback_counters(self):
+        # stl_t is a table function: always a scalar fallback
+        workload = gdp_example(n_quarters=8, regions=("north",), seed=1)
+        _, _, scalar, vector = _both_modes(workload)
+        assert vector.stats.vectorized_tgds > 0
+        assert vector.stats.fallback_tgds >= 1
+        # the scalar path never consults the kernels at all
+        assert scalar.stats.vectorized_tgds == 0
+        assert scalar.stats.fallback_tgds == 0
+
+
+class TestFailureIdentity:
+    def _broken_mapping(self, series_schema):
+        # projecting away a dimension without aggregating: two source
+        # tuples collapse onto the same target dims with different
+        # measures — the defensive egd must fire on both paths
+        schema = series_schema.copy()
+        schema.add(CubeSchema("OUT", (), "v"))
+        copy = Tgd(
+            [Atom("S", (Var("q"), Var("v")))],
+            Atom("S", (Var("q"), Var("v"))),
+            TgdKind.COPY,
+            label="S",
+        )
+        tgd = Tgd(
+            [Atom("S", (Var("q"), Var("v")))],
+            Atom("OUT", (Var("v"),)),
+            TgdKind.TUPLE_LEVEL,
+            label="OUT",
+        )
+        registry = generate_mapping(
+            Program.compile("C := S", series_schema)
+        ).registry
+        return SchemaMapping(
+            series_schema, schema, [copy], [tgd], [Egd("OUT", 0)], registry
+        )
+
+    def test_egd_violation_fails_identically(self, series_schema):
+        mapping = self._broken_mapping(series_schema)
+        instance = RelationalInstance()
+        instance.add("S", (quarter(2020, 1), 1.0))
+        instance.add("S", (quarter(2020, 2), 2.0))
+        errors = {}
+        for vectorized in (False, True):
+            with pytest.raises(ChaseError, match="egd violation") as excinfo:
+                StratifiedChase(mapping, vectorized=vectorized).run(instance)
+            errors[vectorized] = str(excinfo.value)
+        assert errors[False] == errors[True]
+
+    def test_division_by_zero_fails_identically(self, series_schema, series_cube):
+        program = Program.compile("C := S / 0", series_schema)
+        mapping = generate_mapping(program)
+        source = instance_from_cubes({"S": series_cube})
+        errors = {}
+        for vectorized in (False, True):
+            with pytest.raises(OperatorError) as excinfo:
+                StratifiedChase(mapping, vectorized=vectorized).run(source)
+            errors[vectorized] = str(excinfo.value)
+        assert errors[False] == errors[True]
+        assert "division by zero" in errors[True]
+
+
+class TestColumnarRelation:
+    def test_from_facts_roundtrip_preserves_order(self):
+        facts = [
+            (quarter(2020, 1), "north", 1.5),
+            (quarter(2020, 2), "south", 2.5),
+            (quarter(2020, 1), "south", 3.5),
+        ]
+        rel = ColumnarRelation.from_facts(facts, 3)
+        assert rel.n_rows == 3
+        assert rel.dims[0].decode_list() == [f[0] for f in facts]
+        assert rel.dims[1].decode_list() == [f[1] for f in facts]
+        assert rel.measures.tolist() == [1.5, 2.5, 3.5]
+
+    def test_dictionary_encoding_shares_codes(self):
+        facts = [("a", 1.0), ("b", 2.0), ("a", 3.0)]
+        rel = ColumnarRelation.from_facts(facts, 2)
+        codes = rel.dims[0].codes
+        assert codes[0] == codes[2] != codes[1]
+        assert rel.dims[0].dictionary == ["a", "b"]
+
+    def test_non_float_measure_falls_back(self):
+        with pytest.raises(FallbackUnsupported):
+            ColumnarRelation.from_facts([("a", 1)], 2)
+
+    def test_ragged_facts_fall_back(self):
+        with pytest.raises(FallbackUnsupported):
+            ColumnarRelation.from_facts([("a", 1.0), ("a", "b", 2.0)], 2)
+
+    def test_empty_relation_encodes(self):
+        rel = ColumnarRelation.from_facts([], 2)
+        assert rel.n_rows == 0
+        assert rel.dims[0].decode_list() == []
+
+    def test_encoded_column_take(self):
+        rel = ColumnarRelation.from_facts([("a", 1.0), ("b", 2.0)], 2)
+        taken = rel.dims[0].take(np.array([1, 0, 1]))
+        assert isinstance(taken, EncodedColumn)
+        assert taken.decode_list() == ["b", "a", "b"]
+
+
+class TestInstanceColumnarCache:
+    def test_add_batch_counts_new_facts(self):
+        instance = RelationalInstance()
+        assert instance.add_batch("R", [(1, 2.0), (2, 3.0)]) == 2
+        assert instance.add_batch("R", [(1, 2.0), (3, 4.0)]) == 1
+        assert instance.size("R") == 3
+
+    def test_mutation_invalidates_columnar_cache(self):
+        instance = RelationalInstance()
+        instance.add("R", ("a", 1.0))
+        image = ColumnarRelation.from_facts(instance.facts("R"), 2)
+        instance.set_columnar("R", image)
+        assert instance.get_columnar("R") is image
+        instance.add("R", ("b", 2.0))
+        assert instance.get_columnar("R") is None
+        instance.set_columnar("R", image)
+        instance.add_batch("R", [("c", 3.0)])
+        assert instance.get_columnar("R") is None
+
+    def test_copy_does_not_share_columnar_cache(self):
+        instance = RelationalInstance()
+        instance.add("R", ("a", 1.0))
+        instance.set_columnar(
+            "R", ColumnarRelation.from_facts(instance.facts("R"), 2)
+        )
+        clone = instance.copy()
+        assert clone.get_columnar("R") is None

@@ -209,3 +209,57 @@ class TestCubeInstance:
     def test_contains_with_scalar_key(self, ts_schema):
         cube = Cube.from_series(ts_schema, quarter(2020, 1), [1.0])
         assert quarter(2020, 1) in cube
+
+
+class TestApproxToleranceEdges:
+    def _pair(self, panel_schema, left_value, right_value):
+        key = (quarter(2020, 1), "north")
+        a = Cube(panel_schema)
+        a.set(key, left_value)
+        b = Cube(panel_schema)
+        b.set(key, right_value)
+        return a, b
+
+    def test_exact_zero_needs_abs_tol(self, panel_schema):
+        # rel_tol is useless at zero: rel_tol * max(|0|, |eps|) ~ 0,
+        # so only abs_tol can accept a tiny residue against 0.0
+        a, b = self._pair(panel_schema, 0.0, 1e-12)
+        assert a.approx_equals(b)  # default abs_tol=1e-9 absorbs it
+        assert not a.approx_equals(b, abs_tol=0.0)
+        assert a.approx_equals(b, rel_tol=0.0, abs_tol=1e-9)
+
+    def test_both_exact_zero(self, panel_schema):
+        a, b = self._pair(panel_schema, 0.0, 0.0)
+        assert a.approx_equals(b, rel_tol=0.0, abs_tol=0.0)
+        assert a.diff(b, rel_tol=0.0, abs_tol=0.0) == []
+
+    def test_rel_tol_dominates_large_magnitudes(self, panel_schema):
+        # |diff| = 1e-4 >> abs_tol, but rel_tol * 1e6 = 1e-3 covers it
+        a, b = self._pair(panel_schema, 1.0e6, 1.0e6 + 1.0e-4)
+        assert a.approx_equals(b)
+        assert not a.approx_equals(b, rel_tol=0.0)
+
+    def test_abs_tol_dominates_small_magnitudes(self, panel_schema):
+        # |diff| = 5e-10: rel_tol * 1e-9 ~ 1e-18 is useless, abs_tol wins
+        a, b = self._pair(panel_schema, 1.0e-9, 1.5e-9)
+        assert a.approx_equals(b)
+        assert not a.approx_equals(b, abs_tol=0.0)
+
+    def test_diff_reports_measure_and_membership(self, panel_schema):
+        key = (quarter(2020, 1), "north")
+        extra = (quarter(2020, 2), "north")
+        a = Cube(panel_schema)
+        a.set(key, 1.0)
+        a.set(extra, 5.0)
+        b = Cube(panel_schema)
+        b.set(key, 2.0)
+        problems = a.diff(b)
+        assert any("only in left" in p for p in problems)
+        assert any("measure differs" in p and "1.0 vs 2.0" in p for p in problems)
+        assert not a.approx_equals(b)
+
+    def test_diff_tolerance_crossover(self, panel_schema):
+        a, b = self._pair(panel_schema, 10.0, 10.0 + 5e-9)
+        assert a.diff(b) == []  # inside default tolerances
+        tight = a.diff(b, rel_tol=1e-12, abs_tol=1e-12)
+        assert len(tight) == 1 and "measure differs" in tight[0]

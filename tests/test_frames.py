@@ -154,3 +154,35 @@ class TestEquality:
     def test_head_renders(self, frame):
         text = frame.head(2)
         assert "q\tr\tv" in text
+
+
+class TestMutationValidation:
+    """Every mutation validates column length, including frames that
+    started from an empty dict."""
+
+    def test_add_column_establishes_length(self):
+        frame = DataFrame({})
+        frame.add_column("a", [1, 2, 3])
+        assert frame.nrow == 3
+
+    def test_add_column_ragged_after_empty_init_raises(self):
+        frame = DataFrame({})
+        frame.add_column("a", [1, 2, 3])
+        with pytest.raises(FrameError, match="length 2"):
+            frame.add_column("b", [1, 2])
+
+    def test_add_column_replaces_in_place(self, frame):
+        frame.add_column("v", [1.0, 2.0, 3.0, 4.0])
+        assert frame["v"] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_add_column_wrong_length_raises(self, frame):
+        with pytest.raises(FrameError, match="frame has 4 rows"):
+            frame.add_column("w", [1.0])
+
+    def test_assign_wrong_length_raises(self, frame):
+        with pytest.raises(FrameError, match="frame has 4 rows"):
+            frame.assign("w", [1.0, 2.0])
+
+    def test_assign_on_empty_frame_allowed(self):
+        out = DataFrame({}).assign("a", [1])
+        assert out.nrow == 1

@@ -108,3 +108,24 @@ class TestGroupAndSort:
 
     def test_equals_shape_mismatch(self, matrix):
         assert not matrix.equals(Matrix([[1, "n", 10.0]]))
+
+
+class TestEmptyMatrix:
+    """Regression: Matrix([]) and from_rows of a dry iterator agree on 0x0."""
+
+    def test_literal_empty_is_zero_by_zero(self):
+        m = Matrix([])
+        assert (m.nrow, m.ncol) == (0, 0)
+        assert m.rows() == []
+
+    def test_from_rows_empty_generator(self):
+        m = Matrix.from_rows(r for r in ())
+        assert (m.nrow, m.ncol) == (0, 0)
+        assert m.rows() == []
+
+    def test_empty_matrices_are_equal(self):
+        assert Matrix([]).equals(Matrix.from_rows(iter([])))
+
+    def test_empty_column_access_raises(self):
+        with pytest.raises(MatrixError):
+            Matrix([]).col(1)
