@@ -16,7 +16,11 @@ suite in ``tests/test_columnar_chase.py`` pins tuple for tuple).
 
 The timings are written as JSON (``COLUMNAR_BENCH_JSON``, default
 ``bench_columnar_chase_results.json``) so CI can publish them as a
-workflow artifact.
+workflow artifact; with ``--bench-json`` they also land in the unified
+report that ``benchmarks/check_regression.py`` gates on.  Each entry
+carries trace-derived kernel-phase totals (encode/join/eval/egd-check/
+insert) from an instrumented run, so a regression is attributable to a
+phase, not just visible in the end-to-end number.
 """
 
 import gc
@@ -25,9 +29,9 @@ import os
 import time
 from pathlib import Path
 
-import pytest
 
 from repro.chase import StratifiedChase, instance_from_cubes
+from repro.obs import Tracer
 from repro.exl import Program
 from repro.mappings import generate_mapping
 from repro.model import STRING, TIME, CubeSchema, Dimension, Frequency, Schema, month
@@ -110,7 +114,29 @@ def _assert_identical(a, b):
         assert a.instance.facts(relation) == b.instance.facts(relation)
 
 
-def _measure(name, source_text, floor):
+def _kernel_phase_ms(mapping, source):
+    """Per-phase kernel totals (ms) from one traced vectorized run.
+
+    Runs under the same paused-GC convention as :func:`_wall`, so the
+    phase totals are comparable with the end-to-end timings (collector
+    pauses would otherwise land inside whichever span they interrupt).
+    """
+    tracer = Tracer()
+    _wall(
+        lambda: StratifiedChase(mapping, vectorized=True, tracer=tracer).run(
+            source
+        ),
+        repeats=1,
+    )
+    totals = {}
+    for span in tracer.spans:
+        if span.category == "kernel":
+            phase = span.name.split(":", 1)[1]
+            totals[phase] = totals.get(phase, 0.0) + span.duration * 1000
+    return {phase: round(ms, 3) for phase, ms in sorted(totals.items())}
+
+
+def _measure(name, source_text, floor, report=None):
     mapping, source = _panel_workload(source_text)
     scalar_chase = StratifiedChase(mapping, vectorized=False)
     vector_chase = StratifiedChase(mapping, vectorized=True)
@@ -133,7 +159,10 @@ def _measure(name, source_text, floor):
         "vectorized_s": round(vector_s, 4),
         "speedup": round(speedup, 2),
         "floor": floor,
+        "kernel_phase_ms": _kernel_phase_ms(mapping, source),
     }
+    if report is not None:
+        report.record("columnar_chase", name, _results[name])
     print(
         f"\n{name}: {rows} tuples, scalar {scalar_s * 1000:.0f}ms, "
         f"vectorized {vector_s * 1000:.0f}ms, speedup {speedup:.1f}x "
@@ -142,18 +171,52 @@ def _measure(name, source_text, floor):
     return speedup
 
 
-def test_scalar_arithmetic_speedup():
+def test_scalar_arithmetic_speedup(bench_report):
     """≥5× on a 120k-tuple chain of scalar-arithmetic statements."""
     assert _measure(
-        "scalar_arith", SCALAR_PROGRAM, SCALAR_SPEEDUP_FLOOR
+        "scalar_arith", SCALAR_PROGRAM, SCALAR_SPEEDUP_FLOOR, bench_report
     ) >= SCALAR_SPEEDUP_FLOOR
 
 
-def test_aggregation_speedup():
+def test_aggregation_speedup(bench_report):
     """≥3× on 120k-tuple group-by roll-ups."""
     assert _measure(
-        "aggregation", AGG_PROGRAM, AGG_SPEEDUP_FLOOR
+        "aggregation", AGG_PROGRAM, AGG_SPEEDUP_FLOOR, bench_report
     ) >= AGG_SPEEDUP_FLOOR
+
+
+def test_tracing_overhead(bench_report):
+    """Tracing must stay cheap relative to the work it measures.
+
+    Spans fire at kernel-phase granularity (a handful per tgd, never
+    per tuple), so even a *live* tracer should cost well under half the
+    runtime of the 120k-tuple vectorized chase; the default
+    ``NULL_TRACER`` path costs a single attribute load per
+    instrumentation point and is indistinguishable from no
+    instrumentation at all.
+    """
+    mapping, source = _panel_workload(SCALAR_PROGRAM)
+    disabled_chase = StratifiedChase(mapping, vectorized=True)
+    disabled_s = _wall(lambda: disabled_chase.run(source), repeats=5)
+
+    def traced_run():
+        StratifiedChase(mapping, vectorized=True, tracer=Tracer()).run(source)
+
+    traced_s = _wall(traced_run, repeats=5)
+    overhead = traced_s / disabled_s - 1.0
+    _results["tracing_overhead"] = {
+        "disabled_s": round(disabled_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead_pct": round(overhead * 100, 2),
+    }
+    bench_report.record(
+        "columnar_chase", "tracing_overhead", _results["tracing_overhead"]
+    )
+    print(
+        f"\ntracing overhead: disabled {disabled_s * 1000:.0f}ms, "
+        f"traced {traced_s * 1000:.0f}ms ({overhead * 100:+.1f}%)"
+    )
+    assert traced_s < disabled_s * 1.5
 
 
 def test_write_json_report():

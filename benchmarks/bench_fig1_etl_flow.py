@@ -9,10 +9,8 @@ an output step.  The benchmark checks the generated topology matches
 the figure exactly and measures flow generation + execution cost.
 """
 
-import pytest
 
-from repro.backends import EtlBackend, flow_metadata_for_tgd
-from repro.etl import RowStore, flow_from_metadata
+from repro.backends import flow_metadata_for_tgd
 
 
 def _figure1_metadata(mapping):

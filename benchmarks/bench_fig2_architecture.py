@@ -8,7 +8,6 @@ cheap relative to calculation (and amortizable off line via the
 translation cache).
 """
 
-import pytest
 
 from repro.engine import EXLEngine
 from repro.workloads import gdp_example

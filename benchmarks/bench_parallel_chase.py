@@ -34,11 +34,15 @@ from repro.chase import (
 from repro.exl import OperatorRegistry, OperatorSpec, OpKind, Program, default_registry
 from repro.mappings import generate_mapping
 from repro.model import TIME, CubeSchema, Dimension, Frequency, Schema, month
+from repro.obs import Tracer
 from repro.workloads.datagen import random_cube
 
 CHAINS = 8
 DEPTH = 4
 LATENCY_S = 0.01  # simulated target-engine round-trip per stratum
+# the in-test assertion stays a conservative 1.5x (shared runners are
+# noisy); the CI regression gate holds the recorded number to this floor
+WAVE_OVERLAP_FLOOR = 2.5
 
 
 def _registry() -> OperatorRegistry:
@@ -110,7 +114,20 @@ def test_schedule_is_wide(wide):
     assert min(widths) >= 4  # ≥4 independent strata per wave
 
 
-def test_parallel_speedup_over_sequential(wide):
+def _traced_wave_ms(mapping, source):
+    """Per-wave wall durations (ms) from one traced parallel run."""
+    tracer = Tracer()
+    ParallelStratifiedChase(mapping, max_workers=4, tracer=tracer).run(source)
+    waves = [
+        (span.name, round(span.duration * 1000, 2))
+        for span in tracer.spans
+        if span.category == "wave"
+    ]
+    waves.sort()
+    return dict(waves)
+
+
+def test_parallel_speedup_over_sequential(wide, bench_report):
     """≥1.5× wall-time speedup with 4 workers, identical solution."""
     mapping, source = wide
     sequential_chase = StratifiedChase(mapping)
@@ -126,6 +143,21 @@ def test_parallel_speedup_over_sequential(wide):
     seq_s = _wall(lambda: sequential_chase.run(source))
     par_s = _wall(lambda: parallel_chase.run(source))
     speedup = seq_s / par_s
+    bench_report.record(
+        "parallel_chase",
+        "wave_overlap",
+        {
+            "chains": CHAINS,
+            "depth": DEPTH,
+            "sequential_s": round(seq_s, 4),
+            "parallel_s": round(par_s, 4),
+            "speedup": round(speedup, 2),
+            "floor": WAVE_OVERLAP_FLOOR,
+            "waves": parallel.stats.waves,
+            "max_wave_width": parallel.stats.max_wave_width,
+            "wave_ms": _traced_wave_ms(mapping, source),
+        },
+    )
     print(
         f"\nsequential {seq_s * 1000:.1f}ms  parallel(jobs=4) "
         f"{par_s * 1000:.1f}ms  speedup {speedup:.2f}x  "

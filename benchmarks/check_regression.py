@@ -1,0 +1,83 @@
+"""CI benchmark-regression gate.
+
+Reads the unified benchmark report (``--bench-json`` output, e.g.
+``BENCH_PR3.json``) and fails — exit status 1 — if any recorded entry
+with both a ``speedup`` and a ``floor`` key fell below its floor.
+
+The floors are deliberately looser than the speedups measured on a
+quiet machine (scalar 6.6x -> floor 5x, aggregation 5.0x -> floor 3x,
+wave overlap 3.9x -> floor 2.5x): the gate catches real regressions —
+a de-vectorized kernel, a serialized wave — without flaking on shared
+CI runners.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_PR3.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple
+
+
+def gated_entries(
+    document: Dict[str, Any], prefix: str = ""
+) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Yield every ``(dotted.name, entry)`` carrying speedup + floor."""
+    for key, value in sorted(document.items()):
+        if not isinstance(value, dict):
+            continue
+        name = f"{prefix}{key}"
+        if "speedup" in value and "floor" in value:
+            yield name, value
+        else:
+            yield from gated_entries(value, prefix=f"{name}.")
+
+
+def check(document: Dict[str, Any]) -> List[str]:
+    """Return one violation line per below-floor entry (empty = pass)."""
+    violations = []
+    found = False
+    for name, entry in gated_entries(document):
+        found = True
+        speedup = float(entry["speedup"])
+        floor = float(entry["floor"])
+        status = "ok" if speedup >= floor else "REGRESSION"
+        print(f"  {name:<40} speedup {speedup:>6.2f}x  floor {floor:>5.2f}x  {status}")
+        if speedup < floor:
+            violations.append(
+                f"{name}: speedup {speedup:.2f}x is below floor {floor:.2f}x"
+            )
+    if not found:
+        violations.append("no gated entries (speedup+floor) found in report")
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print(
+            "usage: python benchmarks/check_regression.py REPORT.json",
+            file=sys.stderr,
+        )
+        return 2
+    path = Path(argv[0])
+    if not path.exists():
+        print(f"error: report {path} does not exist", file=sys.stderr)
+        return 2
+    document = json.loads(path.read_text())
+    print(f"benchmark regression gate: {path}")
+    violations = check(document)
+    if violations:
+        print("\nFAILED:", file=sys.stderr)
+        for line in violations:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

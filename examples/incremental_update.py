@@ -10,7 +10,7 @@ queryable through the versioned store.
 """
 
 from repro import EXLEngine
-from repro.model import Cube, month
+from repro.model import month
 from repro.workloads import employment_example
 
 

@@ -12,7 +12,6 @@ paper's correctness theorem, observed live.
 from repro import Program, all_backends, generate_mapping
 from repro.backends import flow_metadata_for_tgd
 from repro.workloads import gdp_example
-import json
 
 
 def show_translations(mapping) -> None:

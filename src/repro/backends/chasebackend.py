@@ -31,9 +31,15 @@ class _ChaseStore:
         mapping: SchemaMapping,
         vectorized: Optional[bool] = None,
         kernel_hook=None,
+        tracer=None,
+        metrics=None,
     ):
         self.engine = StratifiedChase(
-            mapping, vectorized=vectorized, kernel_hook=kernel_hook
+            mapping,
+            vectorized=vectorized,
+            kernel_hook=kernel_hook,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.instance = RelationalInstance()
         self.functional: Dict[str, Dict[Tuple, float]] = {}
@@ -57,24 +63,35 @@ class ChaseBackend(Backend):
         max_workers: int = 4,
         cache: Optional[ChaseCache] = None,
         vectorized: Optional[bool] = None,
+        tracer=None,
+        metrics=None,
     ):
         self.parallel = parallel
         self.max_workers = max_workers
         self.cache = cache
         #: columnar kernels on/off (``None`` = engine default, i.e. on)
         self.vectorized = vectorized
+        #: observability sinks threaded into every chase this backend
+        #: constructs (``None`` = untraced / per-chase registry)
+        self.tracer = tracer
+        self.metrics = metrics
         # kernel decisions aggregated across every chase this backend
         # runs; the dispatcher may execute subgraphs concurrently
         self.vectorized_tgds = 0
         self.fallback_tgds = 0
+        self.fallback_reasons: Dict[str, int] = {}
         self._kernel_lock = threading.Lock()
 
-    def _on_kernel(self, used: bool) -> None:
+    def _on_kernel(self, used: bool, reason: Optional[str] = None) -> None:
         with self._kernel_lock:
             if used:
                 self.vectorized_tgds += 1
             else:
                 self.fallback_tgds += 1
+                if reason:
+                    self.fallback_reasons[reason] = (
+                        self.fallback_reasons.get(reason, 0) + 1
+                    )
 
     def run_mapping(
         self,
@@ -98,6 +115,8 @@ class ChaseBackend(Backend):
                 cache=self.cache,
                 vectorized=self.vectorized,
                 kernel_hook=self._on_kernel,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
         else:
             chase = StratifiedChase(
@@ -105,6 +124,8 @@ class ChaseBackend(Backend):
                 cache=self.cache,
                 vectorized=self.vectorized,
                 kernel_hook=self._on_kernel,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
         result = chase.run(source)
         if wanted is None:
@@ -120,7 +141,11 @@ class ChaseBackend(Backend):
 
     def new_store(self, mapping: SchemaMapping) -> _ChaseStore:
         return _ChaseStore(
-            mapping, vectorized=self.vectorized, kernel_hook=self._on_kernel
+            mapping,
+            vectorized=self.vectorized,
+            kernel_hook=self._on_kernel,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
     def load_cube(self, store: _ChaseStore, cube: Cube) -> None:

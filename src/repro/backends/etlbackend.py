@@ -12,7 +12,7 @@ flows of a mapping are tailored into a single job in tgd total order.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
 from ..errors import BackendError
 from ..etl import Flow, Job, RowStore, flow_from_metadata
@@ -28,7 +28,6 @@ from .ir import (
     ComputeOp,
     ConstExpr,
     GroupAggOp,
-    IrProgram,
     LoadOp,
     MergeOp,
     OuterCombineOp,

@@ -11,7 +11,7 @@ target code second.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Optional, Tuple
 
 __all__ = [
     "ColExpr",

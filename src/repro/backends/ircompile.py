@@ -30,7 +30,6 @@ from .ir import (
     ColRef,
     ComputeOp,
     ConstExpr,
-    DropOp,
     GroupAggOp,
     IrProgram,
     LoadOp,

@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from ..errors import BackendError
 from ..exl.operators import OperatorRegistry, OpKind
 from ..frames import DataFrame
 from ..matrixengine import Matrix
-from ..model.cube import CubeSchema
 from ..model.schema import Schema
 from ..model.time import TimePoint
 from ..stats.aggregates import get_aggregate

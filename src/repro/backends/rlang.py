@@ -8,7 +8,7 @@ executed on the from-scratch frame engine.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List
 
 from ..errors import BackendError
 from ..frames import DataFrame

@@ -15,10 +15,10 @@ atoms become join conditions), reproducing the paper's PCHNG statement.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import BackendError
-from ..mappings.dependencies import Atom, Tgd, TgdKind
+from ..mappings.dependencies import Tgd, TgdKind
 from ..mappings.mapping import SchemaMapping
 from ..mappings.terms import AggTerm, Const, FuncApp, Term, Var
 from ..model.cube import Cube, CubeSchema

@@ -49,7 +49,7 @@ drives three design rules:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +66,7 @@ from ..mappings.terms import (
     term_vars,
 )
 from ..errors import OperatorError
+from ..obs import NULL_TRACER
 from ..stats.aggregates import get_aggregate
 
 __all__ = [
@@ -162,14 +163,18 @@ class ColumnarRelation:
         return cls(arity, n, dims, measures)
 
 
-def _relation_columns(instance, relation: str, arity: int) -> ColumnarRelation:
+def _relation_columns(
+    instance, relation: str, arity: int, tracer=NULL_TRACER
+) -> ColumnarRelation:
     """The cached columnar image of one relation (encoded on demand)."""
     cached = instance.get_columnar(relation)
     if cached is not None:
         if cached.arity != arity:
             raise FallbackUnsupported("cached arity mismatch")
         return cached
-    columnar = ColumnarRelation.from_facts(instance.facts(relation), arity)
+    with tracer.span("kernel:encode", category="kernel", relation=relation) as span:
+        columnar = ColumnarRelation.from_facts(instance.facts(relation), arity)
+        span.note(rows=columnar.n_rows)
     if columnar.n_rows:
         instance.set_columnar(relation, columnar)
     return columnar
@@ -454,12 +459,14 @@ def _atom_binds(plan: _AtomPlan, rel: ColumnarRelation):
     return binds, rows
 
 
-def _match(plan: _TgdPlan, instance, registry):
+def _match(plan: _TgdPlan, instance, registry, tracer=NULL_TRACER):
     """The vectorized lhs match: env columns aligned over match rows."""
     env: Dict[str, Any] = {}
     n_env = 0
     for index, atom_plan in enumerate(plan.atoms):
-        rel = _relation_columns(instance, atom_plan.relation, atom_plan.arity)
+        rel = _relation_columns(
+            instance, atom_plan.relation, atom_plan.arity, tracer
+        )
         binds, rows = _atom_binds(atom_plan, rel)
         if index == 0:
             if rows is not None:
@@ -469,41 +476,44 @@ def _match(plan: _TgdPlan, instance, registry):
                 n_env = rel.n_rows
             env = binds
             continue
-        right_rows = np.arange(rel.n_rows) if rows is None else rows
-        if atom_plan.keys:
-            left_parts, right_parts, bases = [], [], []
-            for pos, spec in atom_plan.keys:
-                rcol = rel.dims[pos]
-                if spec[0] == "var":
-                    lcol = env[spec[1]]
-                else:
-                    _, term, name = spec
-                    source = env[name]
-                    if not isinstance(source, EncodedColumn):
-                        raise FallbackUnsupported("non-encoded key source")
-                    lcol = _transform_encoded(
-                        source,
-                        lambda v, _t=term, _n=name: evaluate(
-                            _t, {_n: v}, registry
-                        ),
-                    )
-                if not isinstance(lcol, EncodedColumn):
-                    raise FallbackUnsupported("non-encoded join key")
-                lut = _translate_lut(lcol, rcol.vmap)
-                left_parts.append(lut[lcol.codes] + 1)
-                right_parts.append(rcol.codes[right_rows] + 1)
-                bases.append(len(rcol.dictionary) + 1)
-            left_comp = _mix(left_parts, bases, n_env)
-            right_comp = _mix(right_parts, bases, len(right_rows))
-            left_index, right_pos = _hash_join(left_comp, right_comp)
-        else:
-            left_index = np.repeat(np.arange(n_env), len(right_rows))
-            right_pos = np.tile(np.arange(len(right_rows)), n_env)
-        gathered = right_rows[right_pos]
-        env = {k: _take(c, left_index) for k, c in env.items()}
-        for name, col in binds.items():
-            env[name] = _take(col, gathered)
-        n_env = len(left_index)
+        with tracer.span(
+            "kernel:join", category="kernel", relation=atom_plan.relation
+        ):
+            right_rows = np.arange(rel.n_rows) if rows is None else rows
+            if atom_plan.keys:
+                left_parts, right_parts, bases = [], [], []
+                for pos, spec in atom_plan.keys:
+                    rcol = rel.dims[pos]
+                    if spec[0] == "var":
+                        lcol = env[spec[1]]
+                    else:
+                        _, term, name = spec
+                        source = env[name]
+                        if not isinstance(source, EncodedColumn):
+                            raise FallbackUnsupported("non-encoded key source")
+                        lcol = _transform_encoded(
+                            source,
+                            lambda v, _t=term, _n=name: evaluate(
+                                _t, {_n: v}, registry
+                            ),
+                        )
+                    if not isinstance(lcol, EncodedColumn):
+                        raise FallbackUnsupported("non-encoded join key")
+                    lut = _translate_lut(lcol, rcol.vmap)
+                    left_parts.append(lut[lcol.codes] + 1)
+                    right_parts.append(rcol.codes[right_rows] + 1)
+                    bases.append(len(rcol.dictionary) + 1)
+                left_comp = _mix(left_parts, bases, n_env)
+                right_comp = _mix(right_parts, bases, len(right_rows))
+                left_index, right_pos = _hash_join(left_comp, right_comp)
+            else:
+                left_index = np.repeat(np.arange(n_env), len(right_rows))
+                right_pos = np.tile(np.arange(len(right_rows)), n_env)
+            gathered = right_rows[right_pos]
+            env = {k: _take(c, left_index) for k, c in env.items()}
+            for name, col in binds.items():
+                env[name] = _take(col, gathered)
+            n_env = len(left_index)
     return env, n_env
 
 
@@ -627,26 +637,32 @@ def _dims_unique(dim_cols, n: int) -> bool:
     return np.unique(composite).size == n
 
 
-def _emit(tgd, out_cols, n, target, functional, insert_batch) -> int:
+def _emit(tgd, out_cols, n, target, functional, insert_batch,
+          tracer=NULL_TRACER) -> int:
     if n == 0:
         return 0
     lists = [_column_list(col, n) for col in out_cols]
     facts = list(zip(*lists))
-    if _dims_unique(out_cols[:-1], n):
+    with tracer.span("kernel:egd-check", category="kernel", rows=n):
+        unique = _dims_unique(out_cols[:-1], n)
+    if unique:
         # distinct keys: the batch insert may not need the dimension
         # tuples at all (single-writer fast path), so don't build them
-        return insert_batch(
-            target, functional, tgd.target_relation, facts, assume_unique=True
-        )
+        with tracer.span("kernel:insert", category="kernel", rows=n):
+            return insert_batch(
+                target, functional, tgd.target_relation, facts,
+                assume_unique=True,
+            )
     dims = list(zip(*lists[:-1])) if len(lists) > 1 else [()] * n
-    return insert_batch(
-        target,
-        functional,
-        tgd.target_relation,
-        facts,
-        dims=dims,
-        measures=lists[-1],
-    )
+    with tracer.span("kernel:insert", category="kernel", rows=n):
+        return insert_batch(
+            target,
+            functional,
+            tgd.target_relation,
+            facts,
+            dims=dims,
+            measures=lists[-1],
+        )
 
 
 # -- the kernels --------------------------------------------------------------
@@ -658,96 +674,106 @@ def apply_vectorized(
     registry,
     insert_batch,
     plans: Dict[int, Tuple[Tgd, Any]],
+    tracer=NULL_TRACER,
 ) -> int:
     """Apply one tgd with columnar kernels.
 
     ``operand_instance`` is the instance lhs atoms read from (the
     source instance for st copies, the target itself otherwise).
     Raises :class:`FallbackUnsupported` — before any side effect — when
-    no kernel covers the tgd.
+    no kernel covers the tgd.  ``tracer`` receives one span per kernel
+    phase (encode/join/eval/egd-check/insert), nested under whatever
+    tgd span the caller holds open.
     """
     if tgd.kind is TgdKind.COPY:
         # list, not the set itself: see _apply_copy on why the batch
         # must flow element-wise into the target set
         facts = list(operand_instance.facts(tgd.lhs[0].relation))
-        return insert_batch(target, functional, tgd.target_relation, facts)
+        with tracer.span("kernel:insert", category="kernel", rows=len(facts)):
+            return insert_batch(target, functional, tgd.target_relation, facts)
     plan = _plan_for(tgd, plans)
     if tgd.kind is TgdKind.TUPLE_LEVEL:
-        env, n = _match(plan, operand_instance, registry)
-        out_cols = _output_columns(plan.rhs, env, registry, n)
-        return _emit(tgd, out_cols, n, target, functional, insert_batch)
+        env, n = _match(plan, operand_instance, registry, tracer)
+        with tracer.span("kernel:eval", category="kernel", rows=n):
+            out_cols = _output_columns(plan.rhs, env, registry, n)
+        return _emit(tgd, out_cols, n, target, functional, insert_batch, tracer)
     return _apply_aggregation(
-        plan, tgd, operand_instance, target, functional, registry, insert_batch
+        plan, tgd, operand_instance, target, functional, registry,
+        insert_batch, tracer,
     )
 
 
 def _apply_aggregation(
-    plan, tgd, operand_instance, target, functional, registry, insert_batch
+    plan, tgd, operand_instance, target, functional, registry, insert_batch,
+    tracer=NULL_TRACER,
 ) -> int:
     aggregate = get_aggregate(plan.agg_func)
-    env, n = _match(plan, operand_instance, registry)
+    env, n = _match(plan, operand_instance, registry, tracer)
     if n == 0:
         return 0
-    if plan.operand[0] == "ref":
-        values = env[plan.operand[1]]
-        if isinstance(values, EncodedColumn):
-            raise FallbackUnsupported("encoded aggregation operand")
-    else:
-        values = _numeric(plan.operand[1], env, registry, n)
-    if not isinstance(values, np.ndarray):
-        raise FallbackUnsupported("scalar aggregation operand")
-    key_cols = _output_columns(plan.group, env, registry, n)
-    parts, bases = [], []
-    for col in key_cols:
-        if isinstance(col, EncodedColumn):
-            parts.append(col.codes)
-            bases.append(max(len(col.dictionary), 1))
-        elif isinstance(col, np.ndarray):
-            raise FallbackUnsupported("non-encoded group key")
-        # broadcast scalar keys are constant across the relation
-    composite = _mix(parts, bases, n) if parts else np.zeros(n, _INT)
+    with tracer.span("kernel:eval", category="kernel", rows=n):
+        if plan.operand[0] == "ref":
+            values = env[plan.operand[1]]
+            if isinstance(values, EncodedColumn):
+                raise FallbackUnsupported("encoded aggregation operand")
+        else:
+            values = _numeric(plan.operand[1], env, registry, n)
+        if not isinstance(values, np.ndarray):
+            raise FallbackUnsupported("scalar aggregation operand")
+        key_cols = _output_columns(plan.group, env, registry, n)
+        parts, bases = [], []
+        for col in key_cols:
+            if isinstance(col, EncodedColumn):
+                parts.append(col.codes)
+                bases.append(max(len(col.dictionary), 1))
+            elif isinstance(col, np.ndarray):
+                raise FallbackUnsupported("non-encoded group key")
+            # broadcast scalar keys are constant across the relation
+        composite = _mix(parts, bases, n) if parts else np.zeros(n, _INT)
 
-    # stable argsort keeps each group's rows in original order, so the
-    # per-group bag is value-for-value the scalar path's bag
-    order = np.argsort(composite, kind="stable")
-    ordered = composite[order]
-    boundary = np.empty(n, bool)
-    boundary[0] = True
-    np.not_equal(ordered[1:], ordered[:-1], out=boundary[1:])
-    starts = np.nonzero(boundary)[0]
-    ends = np.append(starts[1:], n)
-    representatives = order[starts]
-    # emit groups in first-occurrence order (dict insertion order of
-    # the scalar path's grouping)
-    emission = np.argsort(representatives, kind="stable")
+        # stable argsort keeps each group's rows in original order, so
+        # the per-group bag is value-for-value the scalar path's bag
+        order = np.argsort(composite, kind="stable")
+        ordered = composite[order]
+        boundary = np.empty(n, bool)
+        boundary[0] = True
+        np.not_equal(ordered[1:], ordered[:-1], out=boundary[1:])
+        starts = np.nonzero(boundary)[0]
+        ends = np.append(starts[1:], n)
+        representatives = order[starts]
+        # emit groups in first-occurrence order (dict insertion order of
+        # the scalar path's grouping)
+        emission = np.argsort(representatives, kind="stable")
 
-    # reorder the value column by the stable sort once: every group's
-    # bag is then a contiguous slice, same elements in the same
-    # within-group (original row) order the scalar path accumulates
-    sorted_values = values[order].tolist()
-    starts_list = starts.tolist()
-    ends_list = ends.tolist()
-    reps_list = representatives.tolist()
+        # reorder the value column by the stable sort once: every
+        # group's bag is then a contiguous slice, same elements in the
+        # same within-group (original row) order the scalar path
+        # accumulates
+        sorted_values = values[order].tolist()
+        starts_list = starts.tolist()
+        ends_list = ends.tolist()
+        reps_list = representatives.tolist()
 
-    def key_value(col, row: int):
-        if isinstance(col, EncodedColumn):
-            return col.dictionary[int(col.codes[row])]
-        return col[1]
+        def key_value(col, row: int):
+            if isinstance(col, EncodedColumn):
+                return col.dictionary[int(col.codes[row])]
+            return col[1]
 
-    facts = []
-    for group in emission.tolist():
-        bag = sorted_values[starts_list[group] : ends_list[group]]
-        row = reps_list[group]
-        key = tuple(key_value(col, row) for col in key_cols)
-        facts.append(key + (aggregate(bag),))
-    dims = [fact[:-1] for fact in facts]
-    measures = [fact[-1] for fact in facts]
-    return insert_batch(
-        target,
-        functional,
-        tgd.target_relation,
-        facts,
-        dims=dims,
-        measures=measures,
-        assume_unique=True,
-    )
+        facts = []
+        for group in emission.tolist():
+            bag = sorted_values[starts_list[group] : ends_list[group]]
+            row = reps_list[group]
+            key = tuple(key_value(col, row) for col in key_cols)
+            facts.append(key + (aggregate(bag),))
+        dims = [fact[:-1] for fact in facts]
+        measures = [fact[-1] for fact in facts]
+    with tracer.span("kernel:insert", category="kernel", rows=len(facts)):
+        return insert_batch(
+            target,
+            functional,
+            tgd.target_relation,
+            facts,
+            dims=dims,
+            measures=measures,
+            assume_unique=True,
+        )

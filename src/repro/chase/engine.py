@@ -15,14 +15,16 @@ invariant (and is exercised by tests with hand-built broken mappings).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Collection, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import ChaseError, ChaseSourceError, MappingError
+from ..errors import ChaseError, ChaseSourceError
 from ..mappings.dependencies import Atom, Tgd, TgdKind
 from ..mappings.mapping import SchemaMapping
 from ..mappings.terms import AggTerm, Const, FuncApp, Term, Var, evaluate
 from ..model.time import TimePoint
+from ..obs import NULL_TRACER, MetricsRegistry
 from ..stats.aggregates import get_aggregate
 from . import columnar
 from .instance import RelationalInstance
@@ -57,6 +59,8 @@ class ChaseStats:
     # vectorials, …).  Both stay 0 with ``vectorized=False``.
     vectorized_tgds: int = 0
     fallback_tgds: int = 0
+    # why each fallback happened (FallbackUnsupported reason -> count)
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -65,6 +69,9 @@ class ChaseResult:
 
     instance: RelationalInstance
     stats: ChaseStats
+    #: the metrics registry the run recorded into (the chase's own
+    #: per-engine registry unless the caller supplied a shared one)
+    metrics: Optional[MetricsRegistry] = None
 
 
 class StratifiedChase:
@@ -82,6 +89,8 @@ class StratifiedChase:
         cache: Optional["ChaseCacheProtocol"] = None,
         vectorized: Optional[bool] = None,
         kernel_hook=None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.mapping = mapping
         self.registry = mapping.registry
@@ -93,9 +102,14 @@ class StratifiedChase:
         self.vectorized = (
             DEFAULT_VECTORIZED if vectorized is None else bool(vectorized)
         )
-        #: optional ``hook(used: bool)`` called per target-tgd kernel
-        #: decision (ChaseBackend aggregates counters across runs here)
+        #: optional ``hook(used: bool, reason: Optional[str])`` called per
+        #: target-tgd kernel decision (ChaseBackend aggregates counters
+        #: across runs here)
         self.kernel_hook = kernel_hook
+        #: span sink; the shared no-op tracer unless the caller traces
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        #: named counter/histogram sink (one per chase unless shared)
+        self.metrics = MetricsRegistry() if metrics is None else metrics
         # compiled kernel plans, keyed by tgd identity
         self._kernel_plans: Dict[int, Tuple[Tgd, Any]] = {}
         # relations written by exactly one tgd: the functional index is
@@ -116,15 +130,36 @@ class StratifiedChase:
         # functional index: relation -> {dims: measure}, for egd checking
         functional: Dict[str, Dict[Tuple, Any]] = {}
 
-        for tgd in self.mapping.st_tgds:
-            produced = self._apply_copy(tgd, source, target, functional)
-            self._record(stats, tgd, produced)
-        for tgd in self.mapping.target_tgds:
-            produced = self._apply_cached(tgd, target, functional, stats)
-            self._record(stats, tgd, produced)
+        with self.tracer.span("chase", category="chase") as chase_span:
+            with self.tracer.span("wave:copy", category="wave",
+                                  width=len(self.mapping.st_tgds)):
+                for tgd in self.mapping.st_tgds:
+                    reads = source.size(tgd.lhs[0].relation)
+                    with self._tgd_span(tgd):
+                        produced = self._apply_copy(
+                            tgd, source, target, functional
+                        )
+                    self._record(stats, tgd, produced, reads=reads)
+            # statement order: each target tgd is its own wave, so the
+            # wave metrics stay comparable with the parallel scheduler
+            for index, tgd in enumerate(self.mapping.target_tgds):
+                started = time.perf_counter()
+                with self.tracer.span(f"wave:{index + 1}", category="wave",
+                                      width=1):
+                    reads = self._operand_rows(tgd, target)
+                    with self._tgd_span(tgd):
+                        produced = self._apply_cached(
+                            tgd, target, functional, stats
+                        )
+                self._record(stats, tgd, produced, reads=reads)
+                self._note_wave(1, time.perf_counter() - started)
+            chase_span.note(
+                tuples_generated=stats.tuples_generated,
+                waves=len(self.mapping.target_tgds),
+            )
         stats.waves = len(self.mapping.target_tgds)
         stats.max_wave_width = 1 if self.mapping.target_tgds else 0
-        return ChaseResult(target, stats)
+        return ChaseResult(target, stats, metrics=self.metrics)
 
     def _check_source(self, source: RelationalInstance) -> None:
         """Every copy tgd's operand must exist in the source instance.
@@ -142,11 +177,36 @@ class StratifiedChase:
                     f"instance (known relations: {sorted(source.relations())})"
                 )
 
+    # -- observability hooks -------------------------------------------------
+    def _tgd_span(self, tgd: Tgd, parent=None):
+        """The span of one rule application (a no-op unless tracing)."""
+        return self.tracer.span(
+            f"tgd:{tgd.label or tgd.target_relation}",
+            category="tgd",
+            parent=parent,
+            kind=tgd.kind.value,
+        )
+
+    @staticmethod
+    def _operand_rows(tgd: Tgd, instance: RelationalInstance) -> int:
+        """Tuples the tgd's lhs reads (relation sizes at apply time)."""
+        return sum(instance.size(atom.relation) for atom in tgd.lhs)
+
+    def _note_wave(self, width: int, duration_s: float) -> None:
+        self.metrics.inc("chase.waves")
+        self.metrics.observe("chase.wave.width", width)
+        self.metrics.observe("chase.wave.duration_s", duration_s)
+
     # -- rule application --------------------------------------------------
-    def _record(self, stats: ChaseStats, tgd: Tgd, produced: int) -> None:
+    def _record(
+        self, stats: ChaseStats, tgd: Tgd, produced: int, reads: int = 0
+    ) -> None:
         stats.rule_applications += 1
         stats.tuples_generated += produced
         stats.per_tgd[tgd.label or tgd.target_relation] = produced
+        self.metrics.inc("chase.rule_applications")
+        self.metrics.inc("chase.tuples.inserted", produced)
+        self.metrics.inc("chase.tuples.read", reads)
 
     def _apply_cached(
         self,
@@ -167,6 +227,7 @@ class StratifiedChase:
         cached = self.cache.get(key)
         if cached is not None:
             self._note_cache(stats, hit=True)
+            self.metrics.inc("chase.egd.checks", len(cached))
             produced = 0
             for fact in cached:
                 produced += self._insert(
@@ -182,18 +243,35 @@ class StratifiedChase:
         """Stat-counter hook; the parallel scheduler serializes it."""
         if hit:
             stats.cache_hits += 1
+            self.metrics.inc("chase.cache.hits")
         else:
             stats.cache_misses += 1
+            self.metrics.inc("chase.cache.misses")
 
-    def _note_kernel(self, stats: Optional[ChaseStats], used: bool) -> None:
+    def _note_kernel(
+        self,
+        stats: Optional[ChaseStats],
+        used: bool,
+        reason: Optional[str] = None,
+    ) -> None:
         """Record one kernel decision; the parallel scheduler serializes it."""
         if stats is not None:
             if used:
                 stats.vectorized_tgds += 1
             else:
                 stats.fallback_tgds += 1
+                if reason:
+                    stats.fallback_reasons[reason] = (
+                        stats.fallback_reasons.get(reason, 0) + 1
+                    )
+        if used:
+            self.metrics.inc("chase.kernel.vectorized")
+        else:
+            self.metrics.inc("chase.kernel.fallback")
+            if reason:
+                self.metrics.inc(f"chase.kernel.fallback.reason:{reason}")
         if self.kernel_hook is not None:
-            self.kernel_hook(used)
+            self.kernel_hook(used, reason)
 
     def _apply(
         self,
@@ -212,9 +290,10 @@ class StratifiedChase:
                     self.registry,
                     self._insert_batch,
                     self._kernel_plans,
+                    tracer=self.tracer,
                 )
-            except columnar.FallbackUnsupported:
-                self._note_kernel(stats, used=False)
+            except columnar.FallbackUnsupported as unsupported:
+                self._note_kernel(stats, used=False, reason=str(unsupported))
             else:
                 self._note_kernel(stats, used=True)
                 return produced
@@ -258,6 +337,7 @@ class StratifiedChase:
         produced = 0
         for fact in source.facts(relation):
             produced += self._insert(target, functional, tgd.target_relation, fact)
+        self.metrics.inc("chase.egd.checks", source.size(relation))
         return produced
 
     def _apply_tuple_level(
@@ -267,11 +347,14 @@ class StratifiedChase:
         functional: Dict[str, Dict[Tuple, Any]],
     ) -> int:
         produced = 0
+        checks = 0
         for env in self._matches(tgd.lhs, target):
             fact = tuple(
                 evaluate(term, env, self.registry) for term in tgd.rhs.terms
             )
             produced += self._insert(target, functional, tgd.rhs.relation, fact)
+            checks += 1
+        self.metrics.inc("chase.egd.checks", checks)
         return produced
 
     def _apply_outer_tuple_level(
@@ -291,7 +374,9 @@ class StratifiedChase:
         left_measure = left_atom.terms[-1]
         right_measure = right_atom.terms[-1]
         dim_terms = left_atom.terms[:-1]
-        for dims in left.keys() | right.keys():
+        keys = left.keys() | right.keys()
+        self.metrics.inc("chase.egd.checks", len(keys))
+        for dims in keys:
             env = {
                 term.name: value
                 for term, value in zip(dim_terms, dims)
@@ -323,6 +408,7 @@ class StratifiedChase:
             value = evaluate(agg_term.operand, env, self.registry)
             groups.setdefault(key, []).append(value)
         produced = 0
+        self.metrics.inc("chase.egd.checks", len(groups))
         for key, bag in groups.items():
             fact = key + (aggregate(bag),)
             produced += self._insert(target, functional, tgd.rhs.relation, fact)
@@ -340,10 +426,13 @@ class StratifiedChase:
         series = [(fact[0], fact[-1]) for fact in rows]
         result = spec.impl(series, tgd.params_dict())
         produced = 0
+        checks = 0
         for point, value in result:
             produced += self._insert(
                 target, functional, tgd.rhs.relation, (point, float(value))
             )
+            checks += 1
+        self.metrics.inc("chase.egd.checks", checks)
         return produced
 
     # -- matching ----------------------------------------------------------
@@ -500,6 +589,7 @@ class StratifiedChase:
         """
         if not facts:
             return 0
+        self.metrics.inc("chase.egd.checks", len(facts))
         seen = functional.setdefault(relation, {})
         if not seen and not target.size(relation):
             single = relation in self._single_writer

@@ -11,7 +11,7 @@ import threading
 from typing import Any, Dict, Iterable, List, Set, Tuple
 
 from ..errors import ChaseError
-from ..model.cube import Cube, CubeSchema
+from ..model.cube import Cube
 from ..model.schema import Schema
 
 __all__ = ["RelationalInstance", "instance_from_cubes", "cubes_from_instance"]

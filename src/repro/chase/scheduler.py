@@ -28,6 +28,7 @@ insert, so a cached stratum can never mask a functionality violation.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -35,6 +36,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..errors import MappingError
 from ..mappings.dependencies import Tgd
 from ..mappings.mapping import SchemaMapping
+from ..obs import MetricsRegistry
 from .engine import ChaseResult, ChaseStats, StratifiedChase
 from .instance import RelationalInstance
 
@@ -131,14 +133,27 @@ class ChaseCache:
     statement invalidates it) and a content fingerprint of each operand
     relation, and holds the tuple of facts the stratum produced.  The
     cache is thread-safe: waves look entries up concurrently.
+
+    ``metrics`` (optional) receives ``chase.cache.invalidations`` — one
+    per entry dropped, whether by LRU eviction or ``clear()`` — so a
+    trace of a slow incremental run shows *why* strata stopped hitting.
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(
+        self, max_entries: int = 256, metrics: Optional[MetricsRegistry] = None
+    ):
         self.max_entries = max_entries
+        self.metrics = metrics
         self._entries: "OrderedDict[Tuple, Tuple]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+
+    def _note_invalidated(self, count: int) -> None:
+        self.invalidations += count
+        if count and self.metrics is not None:
+            self.metrics.inc("chase.cache.invalidations", count)
 
     def key_for(self, tgd: Tgd, instance: RelationalInstance) -> Tuple:
         """Cache key of one stratum against the current instance."""
@@ -167,12 +182,17 @@ class ChaseCache:
         with self._lock:
             self._entries[key] = tuple(facts)
             self._entries.move_to_end(key)
+            evicted = 0
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                evicted += 1
+            self._note_invalidated(evicted)
 
     def clear(self) -> None:
         with self._lock:
+            dropped = len(self._entries)
             self._entries.clear()
+            self._note_invalidated(dropped)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -196,6 +216,8 @@ class ParallelStratifiedChase(StratifiedChase):
         cache: Optional[ChaseCache] = None,
         vectorized: Optional[bool] = None,
         kernel_hook=None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         super().__init__(
             mapping,
@@ -203,6 +225,8 @@ class ParallelStratifiedChase(StratifiedChase):
             cache=cache,
             vectorized=vectorized,
             kernel_hook=kernel_hook,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.max_workers = max(1, int(max_workers))
         self._stats_lock = threading.Lock()
@@ -227,46 +251,88 @@ class ParallelStratifiedChase(StratifiedChase):
             target.ensure(tgd.target_relation)
             functional.setdefault(tgd.target_relation, {})
 
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            # wave 0: the source-to-target copies are mutually independent
-            self._run_wave(
-                pool,
-                self.mapping.st_tgds,
-                lambda tgd: self._apply_copy(tgd, source, target, functional),
-                stats,
-            )
-            for wave in self.waves:
-                tgds = [self.mapping.target_tgds[i] for i in wave]
+        with self.tracer.span(
+            "chase", category="chase", scheduler="parallel",
+            jobs=self.max_workers,
+        ) as chase_span:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                # wave 0: the source-to-target copies are mutually
+                # independent
                 self._run_wave(
                     pool,
-                    tgds,
-                    lambda tgd: self._apply_cached(
-                        tgd, target, functional, stats
+                    self.mapping.st_tgds,
+                    lambda tgd: self._apply_copy(
+                        tgd, source, target, functional
                     ),
                     stats,
+                    label="wave:copy",
+                    source=source,
                 )
+                for index, wave in enumerate(self.waves):
+                    tgds = [self.mapping.target_tgds[i] for i in wave]
+                    self._run_wave(
+                        pool,
+                        tgds,
+                        lambda tgd: self._apply_cached(
+                            tgd, target, functional, stats
+                        ),
+                        stats,
+                        label=f"wave:{index + 1}",
+                        source=target,
+                        timed=True,
+                    )
+            chase_span.note(
+                tuples_generated=stats.tuples_generated,
+                waves=len(self.waves),
+                max_wave_width=max(
+                    (len(w) for w in self.waves), default=0
+                ),
+            )
         stats.waves = len(self.waves)
         stats.max_wave_width = max((len(w) for w in self.waves), default=0)
-        return ChaseResult(target, stats)
+        return ChaseResult(target, stats, metrics=self.metrics)
 
-    def _run_wave(self, pool, tgds, apply_one, stats: ChaseStats) -> None:
+    def _run_wave(
+        self,
+        pool,
+        tgds,
+        apply_one,
+        stats: ChaseStats,
+        label: str = "wave",
+        source: Optional[RelationalInstance] = None,
+        timed: bool = False,
+    ) -> None:
         if not tgds:
             return
-        if self.max_workers == 1 or len(tgds) == 1:
-            produced = [apply_one(tgd) for tgd in tgds]
-        else:
-            produced = list(pool.map(apply_one, tgds))
+        started = time.perf_counter()
+        with self.tracer.span(
+            label, category="wave", width=len(tgds)
+        ) as wave_span:
+            # each task opens its tgd span against the wave span
+            # explicitly: workers run on pool threads, where the
+            # tracer's thread-local stack is empty
+            def traced(tgd):
+                with self._tgd_span(tgd, parent=wave_span):
+                    return apply_one(tgd)
+
+            if self.max_workers == 1 or len(tgds) == 1:
+                produced = [traced(tgd) for tgd in tgds]
+            else:
+                produced = list(pool.map(traced, tgds))
+        if timed:
+            self._note_wave(len(tgds), time.perf_counter() - started)
         for tgd, count in zip(tgds, produced):
-            self._record(stats, tgd, count)
+            reads = 0 if source is None else self._operand_rows(tgd, source)
+            self._record(stats, tgd, count, reads=reads)
 
     # -- thread safety --------------------------------------------------------
     def _note_cache(self, stats: ChaseStats, hit: bool) -> None:
         with self._stats_lock:
             super()._note_cache(stats, hit)
 
-    def _note_kernel(self, stats, used: bool) -> None:
+    def _note_kernel(self, stats, used: bool, reason: Optional[str] = None) -> None:
         with self._stats_lock:
-            super()._note_kernel(stats, used)
+            super()._note_kernel(stats, used, reason)
 
     def _insert(
         self,

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Tuple
 
-from ..errors import ChaseError
 from ..mappings.dependencies import Egd, Tgd, TgdKind
 from ..mappings.mapping import SchemaMapping
 from ..mappings.terms import AggTerm, evaluate

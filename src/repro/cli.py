@@ -40,6 +40,7 @@ from .exl import Program
 from .mappings import generate_mapping, simplify_mapping
 from .model import Cube, CubeSchema, Dimension, Schema
 from .model.io import parse_dimtype, read_cube_csv, write_cube_csv
+from .obs import MetricsRegistry, Tracer
 
 __all__ = ["main", "load_project"]
 
@@ -131,12 +132,16 @@ def _build_engine(
     jobs: int = 4,
     chase_cache: bool = True,
     vectorize: bool = True,
+    tracer=None,
+    metrics=None,
 ) -> EXLEngine:
     engine = EXLEngine(
         parallel=parallel,
         jobs=jobs,
         chase_cache=chase_cache,
         vectorize=vectorize,
+        tracer=tracer,
+        metrics=metrics,
     )
     for schema in project.schemas:
         engine.declare_elementary(schema)
@@ -158,15 +163,32 @@ def cmd_explain(args) -> int:
 
 def cmd_run(args) -> int:
     project = load_project(args.project)
+    tracer = Tracer() if args.trace else None
+    metrics = MetricsRegistry() if (args.trace or args.metrics) else None
     engine = _build_engine(
         project,
         parallel=args.parallel,
         jobs=args.jobs,
         chase_cache=not args.no_chase_cache,
         vectorize=not args.no_vectorize,
+        tracer=tracer,
+        metrics=metrics,
     )
-    record = engine.run()
+    try:
+        record = engine.run()
+    finally:
+        # the trace is most valuable when the run failed mid-chase
+        if tracer is not None:
+            tracer.write_chrome_trace(args.trace)
+            print(f"wrote trace {args.trace} ({len(tracer.spans)} spans)",
+                  file=sys.stderr)
     print(record.summary())
+    if tracer is not None:
+        print("\ntrace summary:")
+        print(tracer.summary())
+    if args.metrics:
+        print("\nmetrics:")
+        print(engine.metrics.render())
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     names = project.outputs or list(record.affected)
@@ -228,6 +250,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="disable the columnar chase kernels and run the "
         "tuple-at-a-time chase (bit-exact ablation baseline)",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a hierarchical trace of the run (run -> wave -> "
+        "tgd -> kernel phase) as Chrome trace-event JSON, loadable in "
+        "chrome://tracing or Perfetto",
+    )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (counters and histograms: "
+        "tuples, cache hits, kernel fallbacks with reasons, wave "
+        "widths/durations) after the run",
     )
     run.set_defaults(func=cmd_run)
 

@@ -10,12 +10,12 @@ single target system chosen from technical metadata.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import EngineError
 from ..exl.ast import cube_refs
-from ..exl.operators import OperatorRegistry, OpKind, default_registry
+from ..exl.operators import OperatorRegistry, default_registry
 from ..exl.parser import parse_program
 from ..model.catalog import MetadataCatalog
 

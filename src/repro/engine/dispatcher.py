@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..errors import EngineError
 from ..model.catalog import MetadataCatalog
 from ..model.cube import Cube
+from ..obs import NULL_TRACER, MetricsRegistry
 from .determination import DependencyGraph
 from .history import RunRecord, SubgraphRecord
 from .translation import TranslatedSubgraph
@@ -34,6 +35,8 @@ class Dispatcher:
         parallel: bool = False,
         max_workers: int = 4,
         as_of: Optional[int] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.catalog = catalog
         self.graph = graph
@@ -42,6 +45,8 @@ class Dispatcher:
         #: read *elementary* inputs at this historical version (vintage
         #: replay); derived intermediates always come from the current run
         self.as_of = as_of
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = MetricsRegistry() if metrics is None else metrics
         self._computed_this_run: set = set()
 
     def dispatch(
@@ -51,14 +56,30 @@ class Dispatcher:
         waves = self.waves(translated)
         record.waves = len(waves)
         record.max_wave_width = max((len(w) for w in waves), default=0)
-        for wave in waves:
-            if self.parallel and len(wave) > 1:
-                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                    results = list(pool.map(self._execute, wave))
-            else:
-                results = [self._execute(t) for t in wave]
+        for index, wave in enumerate(waves):
+            started = time.perf_counter()
+            with self.tracer.span(
+                f"dispatch:wave:{index + 1}", category="dispatch",
+                width=len(wave),
+            ) as wave_span:
+                if self.parallel and len(wave) > 1:
+                    with ThreadPoolExecutor(
+                        max_workers=self.max_workers
+                    ) as pool:
+                        results = list(
+                            pool.map(
+                                lambda t: self._execute(t, wave_span), wave
+                            )
+                        )
+                else:
+                    results = [self._execute(t, wave_span) for t in wave]
+            self.metrics.observe("dispatch.wave.width", len(wave))
+            self.metrics.observe(
+                "dispatch.wave.duration_s", time.perf_counter() - started
+            )
             for subgraph_record in results:
                 record.subgraphs.append(subgraph_record)
+        self.metrics.inc("dispatch.subgraphs", len(record.subgraphs))
 
     def waves(
         self, translated: Sequence[TranslatedSubgraph]
@@ -99,12 +120,20 @@ class Dispatcher:
         return waves
 
     # -- execution of one subgraph ----------------------------------------------
-    def _execute(self, item: TranslatedSubgraph) -> SubgraphRecord:
+    def _execute(
+        self, item: TranslatedSubgraph, wave_span=None
+    ) -> SubgraphRecord:
         inputs = self._gather_inputs(item)
         start = time.perf_counter()
-        outputs = item.backend.run_mapping(
-            item.mapping, inputs, wanted=list(item.subgraph.cubes)
-        )
+        with self.tracer.span(
+            f"subgraph:{item.subgraph.target}:{'+'.join(item.subgraph.cubes)}",
+            category="dispatch",
+            parent=wave_span,
+            target=item.subgraph.target,
+        ) as span:
+            outputs = item.backend.run_mapping(
+                item.mapping, inputs, wanted=list(item.subgraph.cubes)
+            )
         duration = time.perf_counter() - start
         versions: Dict[str, int] = {}
         tuples = 0
@@ -113,6 +142,8 @@ class Dispatcher:
             versions[name] = self.catalog.store.put(cube)
             self._computed_this_run.add(name)
             tuples += len(cube)
+        span.note(tuples_written=tuples)
+        self.metrics.observe("dispatch.subgraph.duration_s", duration)
         return SubgraphRecord(
             item.subgraph.cubes, item.subgraph.target, duration, tuples, versions
         )

@@ -18,20 +18,19 @@ Subsequent ``engine.load`` of new elementary data followed by
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..backends import Backend, ChaseBackend, all_backends
 from ..chase.scheduler import ChaseCache
 from ..errors import EngineError
 from ..exl.operators import OperatorRegistry, default_registry
-from ..exl.parser import parse_program
 from ..model.catalog import MetadataCatalog
 from ..model.cube import Cube, CubeSchema
-from ..model.schema import Schema
+from ..obs import NULL_TRACER, MetricsRegistry
 from .determination import DEFAULT_TARGET_PRIORITY, DependencyGraph, Subgraph
 from .dispatcher import Dispatcher
 from .history import RunLog, RunRecord
-from .translation import TranslatedSubgraph, TranslationEngine
+from .translation import TranslationEngine
 
 __all__ = ["EXLEngine"]
 
@@ -49,6 +48,8 @@ class EXLEngine:
         jobs: int = 4,
         chase_cache: bool = True,
         vectorize: Optional[bool] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.registry = registry or default_registry()
         self.backends = backends or all_backends()
@@ -58,10 +59,15 @@ class EXLEngine:
         self.jobs = max(1, int(jobs))
         #: columnar chase kernels on/off (None = engine default, i.e. on)
         self.vectorize = vectorize
+        #: span sink shared by the engine, dispatcher, and chase layers
+        #: (the no-op tracer unless the caller wants a trace)
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        #: accumulating counters/histograms across this engine's runs
+        self.metrics = MetricsRegistry() if metrics is None else metrics
         #: cube-level chase materialization cache, shared across runs so
         #: incremental updates skip unchanged strata (None = disabled)
         self.chase_cache: Optional[ChaseCache] = (
-            ChaseCache() if chase_cache else None
+            ChaseCache(metrics=self.metrics) if chase_cache else None
         )
         chase_backend = self.backends.get("chase")
         if isinstance(chase_backend, ChaseBackend):
@@ -69,6 +75,8 @@ class EXLEngine:
             chase_backend.max_workers = self.jobs
             chase_backend.cache = self.chase_cache
             chase_backend.vectorized = vectorize
+            chase_backend.tracer = self.tracer
+            chase_backend.metrics = self.metrics
         self.catalog = MetadataCatalog()
         self.runs = RunLog()
         self._graph: Optional[DependencyGraph] = None
@@ -173,41 +181,65 @@ class EXLEngine:
         if not changed:
             raise EngineError("nothing to run: no elementary data has changed")
 
-        t0 = time.perf_counter()
-        affected = self.graph.affected_by(changed)
-        subgraphs = self.graph.partition(affected, self.target_priority)
-        determination_s = time.perf_counter() - t0
+        with self.tracer.span(
+            "run", category="engine", trigger=list(changed)
+        ) as run_span:
+            t0 = time.perf_counter()
+            with self.tracer.span("determination", category="engine"):
+                affected = self.graph.affected_by(changed)
+                subgraphs = self.graph.partition(affected, self.target_priority)
+            determination_s = time.perf_counter() - t0
 
-        t1 = time.perf_counter()
-        translated = self.translator.translate_all(subgraphs)
-        translation_s = time.perf_counter() - t1
+            t1 = time.perf_counter()
+            with self.tracer.span("translation", category="engine"):
+                translated = self.translator.translate_all(subgraphs)
+            translation_s = time.perf_counter() - t1
 
-        record = self.runs.open(changed, affected)
-        record.determination_s = determination_s
-        record.translation_s = translation_s
-        chase_backend = self.backends.get("chase")
-        count_kernels = isinstance(chase_backend, ChaseBackend)
-        if count_kernels:
-            kernels_before = (
-                chase_backend.vectorized_tgds,
-                chase_backend.fallback_tgds,
+            record = self.runs.open(changed, affected)
+            run_span.note(run_id=record.run_id)
+            record.determination_s = determination_s
+            record.translation_s = translation_s
+            self.metrics.inc("engine.runs")
+            self.metrics.observe("engine.determination_s", determination_s)
+            self.metrics.observe("engine.translation_s", translation_s)
+            chase_backend = self.backends.get("chase")
+            count_kernels = isinstance(chase_backend, ChaseBackend)
+            if count_kernels:
+                kernels_before = (
+                    chase_backend.vectorized_tgds,
+                    chase_backend.fallback_tgds,
+                )
+            dispatcher = Dispatcher(
+                self.catalog,
+                self.graph,
+                self.parallel,
+                max_workers=self.jobs,
+                as_of=as_of,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
-        dispatcher = Dispatcher(
-            self.catalog,
-            self.graph,
-            self.parallel,
-            max_workers=self.jobs,
-            as_of=as_of,
-        )
-        dispatcher.dispatch(translated, record)
-        if count_kernels:
-            record.vectorized_tgds = (
-                chase_backend.vectorized_tgds - kernels_before[0]
+            t2 = time.perf_counter()
+            try:
+                with self.tracer.span("dispatch", category="engine"):
+                    dispatcher.dispatch(translated, record)
+            except Exception as exc:
+                # close the record in its failure state so duration and
+                # history stay meaningful, then let the error propagate
+                record.error = f"{type(exc).__name__}: {exc}"
+                self.metrics.inc("engine.runs.failed")
+                self.runs.close(record)
+                raise
+            self.metrics.observe(
+                "engine.dispatch_s", time.perf_counter() - t2
             )
-            record.fallback_tgds = (
-                chase_backend.fallback_tgds - kernels_before[1]
-            )
-        self.runs.close(record)
+            if count_kernels:
+                record.vectorized_tgds = (
+                    chase_backend.vectorized_tgds - kernels_before[0]
+                )
+                record.fallback_tgds = (
+                    chase_backend.fallback_tgds - kernels_before[1]
+                )
+            self.runs.close(record)
         self._loaded_since_last_run = []
         return record
 

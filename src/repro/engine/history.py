@@ -48,18 +48,42 @@ class RunRecord:
     # fallen back to the tuple-at-a-time path during this run
     vectorized_tgds: int = 0
     fallback_tgds: int = 0
+    # failure state: set when the run raised during dispatch (the engine
+    # closes the record before re-raising, so duration stays meaningful)
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     @property
     def duration_s(self) -> float:
-        return self.finished_at - self.started_at
+        """Wall time of the run; 0.0 while the run is still open.
+
+        A record abandoned before :meth:`RunLog.close` has
+        ``finished_at == 0.0``; the raw difference would be a large
+        negative number, so the duration is clamped to zero instead.
+        """
+        if not self.finished_at:
+            return 0.0
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def finished(self) -> bool:
+        return bool(self.finished_at)
 
     @property
     def execution_s(self) -> float:
         return sum(s.duration_s for s in self.subgraphs)
 
     def summary(self) -> str:
+        state = ""
+        if self.failed:
+            state = f" FAILED ({self.error})"
+        elif not self.finished:
+            state = " UNFINISHED"
         lines = [
-            f"run {self.run_id}: trigger={list(self.trigger)} "
+            f"run {self.run_id}{state}: trigger={list(self.trigger)} "
             f"affected={len(self.affected)} cubes in {len(self.subgraphs)} "
             f"subgraphs, {self.duration_s:.3f}s total "
             f"(determination {self.determination_s * 1000:.1f}ms, "

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..backends import Backend, CompiledTgd, all_backends
 from ..errors import EngineError
-from ..exl.operators import OperatorRegistry, default_registry
+from ..exl.operators import OperatorRegistry
 from ..exl.program import Program
 from ..mappings.generator import generate_mapping
 from ..mappings.mapping import SchemaMapping

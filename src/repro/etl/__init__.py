@@ -10,8 +10,8 @@ from .metadata import flow_from_metadata, flow_to_metadata
 from .steps import (
     Aggregate,
     Calculator,
-    OuterCombine,
     FilterStep,
+    OuterCombine,
     MergeJoin,
     SortStep,
     Step,
@@ -27,6 +27,7 @@ __all__ = [
     "Step",
     "TableInput",
     "MergeJoin",
+    "OuterCombine",
     "Calculator",
     "Aggregate",
     "TableFunctionStep",

@@ -9,8 +9,8 @@ total order" (Section 5.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import EtlError
 from .steps import Step

@@ -12,7 +12,7 @@ Calculator formulas are EXL scalar expressions over field names
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import EtlError, OperatorError
 from ..exl.ast import BinOp, Call, CubeRef, Expr, Number, String, UnaryOp

@@ -7,7 +7,7 @@ data between engines.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence
 
 from ..errors import EtlError
 from ..model.cube import Cube, CubeSchema

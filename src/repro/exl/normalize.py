@@ -14,7 +14,7 @@ guarantees they do not collide with user names.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List, Set
 
 from ..errors import ExlSemanticError, OperatorError
 from ..model.schema import Schema

@@ -10,7 +10,7 @@ determination engine) consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import ExlSemanticError
 from ..model.cube import CubeSchema

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import ExlSemanticError, OperatorError
+from ..errors import ExlSemanticError
 from ..model.cube import CubeSchema, Dimension
 from ..model.schema import Schema
 from ..model.time import Frequency
-from ..model.types import TIME, DimType
+from ..model.types import TIME
 from .ast import BinOp, Call, CubeRef, Expr, GroupItem, Number, ProgramAst, Statement, String, UnaryOp
 from .operators import OperatorRegistry, OpKind, default_registry
 

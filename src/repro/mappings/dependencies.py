@@ -21,11 +21,11 @@ measure* of each cube.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import MappingError
-from .terms import AggTerm, Const, FuncApp, Term, Var, term_vars
+from .terms import AggTerm, Term, term_vars
 
 __all__ = ["Atom", "TgdKind", "Tgd", "Egd"]
 

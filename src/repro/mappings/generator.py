@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..errors import MappingError
 from ..exl.ast import BinOp, Call, CubeRef, Expr, Number, Statement, String
 from ..exl.normalize import normalize_program
-from ..exl.operators import OperatorRegistry, OpKind, period_for_frequency
+from ..exl.operators import OpKind, period_for_frequency
 from ..exl.program import Program, ValidatedStatement
 from ..model.cube import CubeSchema
 from ..model.schema import Schema

@@ -9,8 +9,8 @@ stratified chase follows — plus one functionality egd per target cube.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List
 
 from ..errors import MappingError
 from ..exl.operators import OperatorRegistry

@@ -26,9 +26,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import MappingError
 from ..model.schema import Schema
-from .dependencies import Atom, Egd, Tgd, TgdKind
+from .dependencies import Atom, Tgd, TgdKind
 from .mapping import SchemaMapping
-from .terms import AggTerm, Const, FuncApp, Term, Var, substitute, term_vars
+from .terms import AggTerm, Const, FuncApp, Term, Var, substitute
 
 __all__ = ["simplify_mapping", "TEMP_PREFIX"]
 

@@ -19,7 +19,7 @@ uses to compute generated tuples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Tuple, Union
+from typing import Any, Dict, FrozenSet, Tuple
 
 from ..errors import MappingError, OperatorError
 from ..exl.operators import OperatorRegistry, OpKind

@@ -11,8 +11,8 @@ every write produces a new version rather than destroying the past.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import CatalogError
 from .cube import Cube, CubeSchema

@@ -15,8 +15,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import CubeError, SchemaError
-from .time import Frequency, TimePoint
-from .types import DimKind, DimType, validate_value
+from .time import TimePoint
+from .types import DimType, validate_value
 
 __all__ = ["Dimension", "CubeSchema", "Cube"]
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Any, List, Sequence, TextIO, Union
+from typing import Any, TextIO, Union
 
 from ..errors import ModelError
 from .cube import Cube, CubeSchema, Dimension

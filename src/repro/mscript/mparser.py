@@ -9,7 +9,7 @@ string literals, and horizontal matrix composition ``[a b c]``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 from ..errors import ReproError
 

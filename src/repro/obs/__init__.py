@@ -1,0 +1,27 @@
+"""Observability: hierarchical tracing and a metrics registry.
+
+``repro.obs`` is the single instrumentation layer for the engine and
+the chase.  The :class:`Tracer` produces a span tree
+(run → determination/translation/dispatch → wave → tgd → kernel phase)
+exportable as Chrome trace-event JSON; the :class:`MetricsRegistry`
+holds the named counters and histograms that supersede the ad-hoc
+timing and counting previously scattered across the engine.
+
+Tracing is off by default: every instrumented call site holds
+:data:`NULL_TRACER`, whose spans are one shared no-op object, so the
+disabled path costs a single attribute load per span site.
+"""
+
+from .metrics import Counter, Histogram, MetricsRegistry
+from .trace import NULL_TRACER, NullSpan, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

@@ -8,7 +8,7 @@ SELECTs and expanded on reference.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..errors import SqlExecutionError
 from .executor import QueryResult, RowEnv, SelectExecutor
@@ -21,7 +21,6 @@ from .sqlast import (
     Drop,
     Insert,
     Select,
-    SqlExpr,
     Update,
 )
 from .table import Column, Table

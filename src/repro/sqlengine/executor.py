@@ -10,7 +10,7 @@ implements the shift semantics (``t + 1`` moves one period).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import SqlExecutionError
 from ..model.time import TimePoint
@@ -23,14 +23,12 @@ from .sqlast import (
     FuncCall,
     InList,
     IsNull,
-    Join,
     Literal,
     OrderItem,
     Select,
     SelectItem,
     SqlExpr,
     SubquerySource,
-    TableFuncRef,
     TableRef,
     Unary,
 )
@@ -154,7 +152,6 @@ class SelectExecutor:
         # try a hash index on equi conjuncts of the ON condition
         on_conjuncts = _conjuncts(condition)
         keys = []
-        bound = {"*any*"}  # treat all current bindings as bound
 
         def determined(expr: SqlExpr) -> bool:
             deps = _bindings_of(expr)

@@ -18,13 +18,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Sequence
 
 from ..errors import SqlExecutionError
 from ..model.time import Frequency, TimePoint, convert
 from ..stats import aggregates as _agg
-from .table import Column, Table
-from .values import SqlType
+from .table import Table
 
 __all__ = ["FunctionRegistry", "TabularFunction", "default_functions"]
 

@@ -9,7 +9,7 @@ as a standalone mini DBMS.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple, Union
 
 __all__ = [

@@ -9,7 +9,7 @@ used by examples, tests and benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Sequence
 
 from ..model.cube import Cube, CubeSchema, Dimension
 from ..model.schema import Schema

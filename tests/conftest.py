@@ -15,7 +15,6 @@ from repro.model import (
     Dimension,
     Frequency,
     Schema,
-    day,
     quarter,
 )
 from repro.workloads import gdp_example

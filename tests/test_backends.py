@@ -15,10 +15,10 @@ from repro.backends import (
     compile_tgd_to_ir,
     flow_metadata_for_tgd,
 )
-from repro.backends.ir import GroupAggOp, LoadOp, MergeOp, StoreOp, TableFuncOp
+from repro.backends.ir import GroupAggOp, MergeOp, StoreOp, TableFuncOp
 from repro.errors import UnsupportedOperatorError
 from repro.exl import Program, OperatorSpec, OpKind
-from repro.mappings import generate_mapping, simplify_mapping
+from repro.mappings import generate_mapping
 from repro.model import TIME, Cube, CubeSchema, Dimension, Frequency, Schema, quarter
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.backends import RBackend, SqlBackend, all_backends
+from repro.backends import RBackend, SqlBackend
 from repro.chase import RelationalInstance, StratifiedChase
 from repro.errors import ChaseError
 from repro.etl import OuterCombine, RowStore
@@ -19,7 +19,6 @@ from repro.mappings import (
     generate_mapping,
 )
 from repro.model import (
-    STRING,
     TIME,
     Cube,
     CubeSchema,

@@ -12,7 +12,6 @@ from repro.engine import (
 )
 from repro.errors import EngineError
 from repro.model import (
-    STRING,
     TIME,
     Cube,
     CubeSchema,

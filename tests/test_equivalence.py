@@ -8,7 +8,6 @@ from repro.exl import Program
 from repro.mappings import generate_mapping, simplify_mapping
 from repro.workloads import (
     employment_example,
-    gdp_example,
     price_index_example,
     random_workload,
 )

@@ -19,7 +19,6 @@ from repro.etl import (
     flow_to_metadata,
 )
 from repro.model import Cube, CubeSchema, Dimension, Frequency, TIME, quarter
-from repro.model.types import STRING
 
 
 @pytest.fixture

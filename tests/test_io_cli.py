@@ -1,7 +1,6 @@
 """Tests for cube CSV I/O and the command-line interface."""
 
 import json
-from pathlib import Path
 
 import pytest
 

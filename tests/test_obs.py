@@ -1,0 +1,435 @@
+"""The observability layer: tracer, metrics registry, CI gate.
+
+Pins the contracts the instrumentation relies on:
+
+* disabled tracing is a true no-op (one shared span object, zero
+  recorded spans, no behavioural difference);
+* a traced chase produces the documented span tree
+  (chase → wave → tgd → kernel phase) under both the sequential and
+  the stratum-parallel scheduler, at any worker count;
+* the metrics registry agrees with the legacy per-run ``ChaseStats``
+  counters it supersedes;
+* the Chrome trace-event export round-trips through ``json.loads``
+  with consistent timestamps and parent containment;
+* ``RunRecord`` duration/summary stay meaningful for failed and
+  unfinished runs;
+* ``benchmarks/check_regression.py`` passes at-floor reports and fails
+  below-floor ones.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.chase import (
+    ChaseCache,
+    ParallelStratifiedChase,
+    StratifiedChase,
+    instance_from_cubes,
+)
+from repro.engine.history import RunRecord, RunLog
+from repro.exl import Program
+from repro.mappings import generate_mapping
+from repro.model import TIME, CubeSchema, Dimension, Frequency, Schema, month
+from repro.obs import (
+    NULL_TRACER,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+)
+from repro.workloads.datagen import random_cube
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GATE = REPO_ROOT / "benchmarks" / "check_regression.py"
+
+# three strata in a chain: wave:1 .. wave:3 after the copy wave
+THREE_STRATA = """\
+A := S * 2
+B := A + 1
+C := B * 3
+"""
+
+
+def _series_workload(source_text=THREE_STRATA, n_months=6):
+    schema = Schema(
+        [CubeSchema("S", [Dimension("m", TIME(Frequency.MONTH))], "v")]
+    )
+    program = Program.compile(source_text, schema)
+    mapping = generate_mapping(program)
+    data = {
+        "S": random_cube(
+            schema["S"],
+            {"m": [month(2021, 1) + i for i in range(n_months)]},
+            seed=5,
+        )
+    }
+    return mapping, instance_from_cubes(data)
+
+
+# -- disabled tracing ---------------------------------------------------------
+
+
+class TestNullTracer:
+    def test_default_tracer_is_the_shared_null_tracer(self):
+        mapping, _ = _series_workload()
+        assert StratifiedChase(mapping).tracer is NULL_TRACER
+        assert ParallelStratifiedChase(mapping).tracer is NULL_TRACER
+
+    def test_span_is_one_shared_noop_object(self):
+        first = NULL_TRACER.span("anything", category="x", rows=1)
+        second = NULL_TRACER.span("other")
+        assert first is second
+        with first as span:
+            assert span.note(k=1) is span
+        assert not first.enabled
+        assert not NULL_TRACER.enabled
+
+    def test_untraced_chase_records_zero_spans(self):
+        mapping, source = _series_workload()
+        result = StratifiedChase(mapping).run(source)
+        assert result.stats.tuples_generated > 0
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.chrome_trace() == []
+        assert NULL_TRACER.current() is None
+        assert "disabled" in NULL_TRACER.summary()
+
+    def test_null_tracer_swallows_nothing(self):
+        with pytest.raises(ValueError):
+            with NullTracer().span("s"):
+                raise ValueError("propagates")
+
+
+# -- span tree shape ----------------------------------------------------------
+
+
+def _tree(tracer):
+    children = {}
+    for span in tracer.spans:
+        children.setdefault(span.parent_id, []).append(span)
+    return children
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+class TestSpanTree:
+    def _run(self, jobs):
+        mapping, source = _series_workload()
+        tracer = Tracer()
+        chase = ParallelStratifiedChase(
+            mapping, max_workers=jobs, tracer=tracer
+        )
+        result = chase.run(source)
+        return chase, tracer, result
+
+    def test_root_is_the_chase_span(self, jobs):
+        _, tracer, _ = self._run(jobs)
+        roots = _tree(tracer).get(None, [])
+        assert [span.name for span in roots] == ["chase"]
+        assert roots[0].args["scheduler"] == "parallel"
+        assert roots[0].args["jobs"] == jobs
+
+    def test_three_strata_make_three_waves_plus_copy(self, jobs):
+        _, tracer, result = self._run(jobs)
+        children = _tree(tracer)
+        root = children[None][0]
+        waves = [span.name for span in children[root.span_id]]
+        assert waves == ["wave:copy", "wave:1", "wave:2", "wave:3"]
+        assert result.stats.waves == 3
+
+    def test_each_wave_holds_its_tgd_spans(self, jobs):
+        _, tracer, _ = self._run(jobs)
+        children = _tree(tracer)
+        root = children[None][0]
+        for wave in children[root.span_id]:
+            tgds = children.get(wave.span_id, [])
+            # chain program: one st-tgd under the copy wave, one target
+            # tgd under each stratum wave
+            assert len(tgds) == 1
+            assert tgds[0].name.startswith("tgd:")
+            assert tgds[0].category == "tgd"
+
+    def test_kernel_phases_nest_under_their_tgd(self, jobs):
+        chase, tracer, _ = self._run(jobs)
+        kernel_spans = [s for s in tracer.spans if s.category == "kernel"]
+        if not chase.vectorized:
+            assert kernel_spans == []
+            return
+        assert kernel_spans, "vectorized chase should emit kernel spans"
+        by_id = {span.span_id: span for span in tracer.spans}
+        for span in kernel_spans:
+            assert span.name.split(":", 1)[0] == "kernel"
+            parent = by_id[span.parent_id]
+            assert parent.category == "tgd"
+
+    def test_sequential_chase_same_wave_names(self, jobs):
+        mapping, source = _series_workload()
+        tracer = Tracer()
+        StratifiedChase(mapping, tracer=tracer).run(source)
+        children = _tree(tracer)
+        root = children[None][0]
+        assert root.name == "chase"
+        assert [span.name for span in children[root.span_id]] == [
+            "wave:copy",
+            "wave:1",
+            "wave:2",
+            "wave:3",
+        ]
+
+
+# -- metrics parity with ChaseStats -------------------------------------------
+
+
+class TestMetricsParity:
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_counters_match_stats(self, parallel):
+        mapping, source = _series_workload()
+        metrics = MetricsRegistry()
+        if parallel:
+            chase = ParallelStratifiedChase(
+                mapping, max_workers=4, metrics=metrics
+            )
+        else:
+            chase = StratifiedChase(mapping, metrics=metrics)
+        stats = chase.run(source).stats
+        assert metrics.value("chase.rule_applications") == stats.rule_applications
+        assert metrics.value("chase.tuples.inserted") == stats.tuples_generated
+        assert metrics.value("chase.kernel.vectorized") == stats.vectorized_tgds
+        assert metrics.value("chase.kernel.fallback") == stats.fallback_tgds
+        assert metrics.histogram("chase.wave.width").count == stats.waves
+        assert metrics.value("chase.tuples.read") > 0
+        assert metrics.value("chase.egd.checks") >= stats.tuples_generated
+
+    def test_cache_hits_and_misses_match_stats(self):
+        mapping, source = _series_workload()
+        metrics = MetricsRegistry()
+        cache = ChaseCache(metrics=metrics)
+        chase = ParallelStratifiedChase(
+            mapping, max_workers=2, cache=cache, metrics=metrics
+        )
+        cold = chase.run(source).stats
+        warm = chase.run(source).stats
+        assert warm.cache_hits > 0 and warm.cache_misses == 0
+        assert metrics.value("chase.cache.hits") == (
+            cold.cache_hits + warm.cache_hits
+        )
+        assert metrics.value("chase.cache.misses") == (
+            cold.cache_misses + warm.cache_misses
+        )
+        cache.clear()
+        assert metrics.value("chase.cache.invalidations") == cache.invalidations
+
+    def test_fallback_reasons_are_counted_by_reason(self):
+        # table functions have no columnar kernel, so this always falls
+        # back with a stable reason string
+        mapping, source = _series_workload("A := stl_t(S)\n", n_months=24)
+        metrics = MetricsRegistry()
+        chase = StratifiedChase(mapping, vectorized=True, metrics=metrics)
+        stats = chase.run(source).stats
+        assert stats.fallback_tgds == 1
+        assert stats.fallback_reasons
+        reasons = metrics.counters("chase.kernel.fallback.reason:")
+        assert sum(reasons.values()) == stats.fallback_tgds
+        for reason, count in stats.fallback_reasons.items():
+            assert reasons[f"chase.kernel.fallback.reason:{reason}"] == count
+
+
+# -- metrics registry unit behaviour ------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate_and_default_to_zero(self):
+        registry = MetricsRegistry()
+        assert registry.value("never.touched") == 0
+        registry.inc("a.b")
+        registry.inc("a.b", 4)
+        registry.inc("a.c", 2)
+        assert registry.value("a.b") == 5
+        assert registry.counters("a.") == {"a.b": 5, "a.c": 2}
+
+    def test_histogram_moments(self):
+        histogram = Histogram("h")
+        assert histogram.snapshot()["count"] == 0
+        assert histogram.mean == 0.0
+        for value in (2.0, 8.0, 5.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap == {
+            "count": 3,
+            "total": 15.0,
+            "min": 2.0,
+            "max": 8.0,
+            "mean": 5.0,
+        }
+
+    def test_snapshot_and_render_round_trip(self):
+        registry = MetricsRegistry()
+        registry.inc("chase.waves", 3)
+        registry.observe("chase.wave.width", 8)
+        snap = registry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        rendered = registry.render()
+        assert "chase.waves" in rendered and "chase.wave.width" in rendered
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+
+# -- chrome trace export ------------------------------------------------------
+
+
+class TestChromeTrace:
+    def _traced_run(self, tmp_path, jobs=4):
+        mapping, source = _series_workload()
+        tracer = Tracer()
+        ParallelStratifiedChase(
+            mapping, max_workers=jobs, tracer=tracer
+        ).run(source)
+        out = tmp_path / "trace.json"
+        tracer.write_chrome_trace(out)
+        return tracer, json.loads(out.read_text())
+
+    def test_round_trips_through_json_loads(self, tmp_path):
+        tracer, document = self._traced_run(tmp_path)
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == len(tracer.spans)
+        assert metadata and metadata[0]["name"] == "thread_name"
+        assert {e["ph"] for e in events} == {"M", "X"}
+
+    def test_timestamps_are_consistent(self, tmp_path):
+        _, document = self._traced_run(tmp_path)
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        for event in complete:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["tid"], int) and event["tid"] >= 1
+
+    def test_children_are_contained_in_their_parents(self, tmp_path):
+        _, document = self._traced_run(tmp_path)
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        by_id = {e["args"]["span_id"]: e for e in complete}
+        tolerance_us = 5.0
+        checked = 0
+        for event in complete:
+            parent_id = event["args"]["parent_id"]
+            if parent_id is None:
+                continue
+            parent = by_id[parent_id]
+            assert event["ts"] >= parent["ts"] - tolerance_us
+            assert (
+                event["ts"] + event["dur"]
+                <= parent["ts"] + parent["dur"] + tolerance_us
+            )
+            checked += 1
+        assert checked > 0
+
+    def test_error_spans_carry_the_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["inner"].args["error"] == "RuntimeError: boom"
+        assert by_name["outer"].args["error"] == "RuntimeError: boom"
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+    def test_summary_aggregates_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("tick", category="test"):
+                pass
+        summary = tracer.summary()
+        assert "tick" in summary
+        assert "     3" in summary
+
+
+# -- RunRecord failure/duration semantics -------------------------------------
+
+
+class TestRunRecord:
+    def _record(self, **kwargs):
+        return RunRecord(run_id=1, trigger=("S",), affected=("A",), **kwargs)
+
+    def test_unfinished_run_has_zero_duration(self):
+        record = self._record(started_at=123.4)
+        assert record.finished_at == 0.0
+        assert record.duration_s == 0.0
+        assert not record.finished
+        assert " UNFINISHED" in record.summary()
+
+    def test_clock_skew_clamps_to_zero(self):
+        record = self._record(started_at=100.0, finished_at=99.0)
+        assert record.duration_s == 0.0
+
+    def test_failed_run_surfaces_the_error(self):
+        record = self._record(started_at=1.0, finished_at=2.5)
+        record.error = "ChaseSourceError: missing cube"
+        assert record.failed
+        assert record.duration_s == pytest.approx(1.5)
+        summary = record.summary()
+        assert "FAILED" in summary and "missing cube" in summary
+
+    def test_healthy_run_summary_is_unchanged(self):
+        log = RunLog()
+        record = log.open(("S",), ("A",))
+        log.close(record)
+        assert record.finished and not record.failed
+        assert "FAILED" not in record.summary()
+        assert "UNFINISHED" not in record.summary()
+        assert record.duration_s >= 0.0
+
+
+# -- the CI regression gate ---------------------------------------------------
+
+
+def _run_gate(tmp_path, document):
+    report = tmp_path / "report.json"
+    report.write_text(json.dumps(document))
+    return subprocess.run(
+        [sys.executable, str(GATE), str(report)],
+        capture_output=True,
+        text=True,
+    )
+
+
+PASSING_REPORT = {
+    "columnar_chase": {
+        "scalar_arith": {"speedup": 6.6, "floor": 5.0},
+        "aggregation": {"speedup": 5.0, "floor": 3.0},
+        "tracing_overhead": {"overhead_pct": 1.0},
+    },
+    "parallel_chase": {
+        "wave_overlap": {"speedup": 3.9, "floor": 2.5, "waves": 4},
+    },
+}
+
+
+class TestRegressionGate:
+    def test_passes_at_or_above_floors(self, tmp_path):
+        completed = _run_gate(tmp_path, PASSING_REPORT)
+        assert completed.returncode == 0, completed.stderr
+        assert "all benchmarks at or above their floors" in completed.stdout
+
+    def test_fails_below_floor(self, tmp_path):
+        doctored = json.loads(json.dumps(PASSING_REPORT))
+        doctored["parallel_chase"]["wave_overlap"]["speedup"] = 2.4
+        completed = _run_gate(tmp_path, doctored)
+        assert completed.returncode == 1
+        assert "REGRESSION" in completed.stdout
+        assert "below floor" in completed.stderr
+
+    def test_fails_on_empty_report(self, tmp_path):
+        completed = _run_gate(tmp_path, {"columnar_chase": {}})
+        assert completed.returncode == 1
+        assert "no gated entries" in completed.stderr
+
+    def test_missing_report_is_an_error(self, tmp_path):
+        completed = subprocess.run(
+            [sys.executable, str(GATE), str(tmp_path / "absent.json")],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 2

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import OperatorError
 from repro.exl import (
     ALL_TARGETS,
-    OperatorRegistry,
     OperatorSpec,
     OpKind,
     Program,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.backends import all_backends, compile_tgd_to_ir
 from repro.backends.ir import OuterCombineOp
-from repro.errors import ExlSemanticError, SqlExecutionError
+from repro.errors import ExlSemanticError
 from repro.exl import Program
 from repro.mappings import TgdKind, generate_mapping
 from repro.model import (

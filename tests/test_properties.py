@@ -1,7 +1,5 @@
 """Property-based tests (hypothesis) on core invariants."""
 
-import math
-
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -17,8 +15,6 @@ from repro.model import (
     TIME,
     TimePoint,
     convert,
-    day,
-    month,
     parse_timepoint,
     quarter,
 )

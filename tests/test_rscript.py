@@ -3,8 +3,7 @@ backend that executes generated R text end to end."""
 
 import pytest
 
-from repro.backends import RScriptBackend, all_backends
-from repro.errors import ReproError
+from repro.backends import RScriptBackend
 from repro.exl import Program
 from repro.frames import DataFrame
 from repro.mappings import generate_mapping
@@ -16,7 +15,7 @@ from repro.rscript import (
     parse_r,
     run_r_script,
 )
-from repro.rscript.rast import RAssign, RBinary, RCall, RDollar, RIndex, RIndex2, RName
+from repro.rscript.rast import RAssign, RBinary, RCall, RDollar, RIndex, RIndex2
 
 
 class TestParser:

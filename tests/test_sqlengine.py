@@ -5,16 +5,14 @@ import pytest
 from repro.errors import SqlExecutionError, SqlSyntaxError
 from repro.model import quarter
 from repro.sqlengine import (
-    Column,
     Database,
-    SqlType,
     Table,
     parse_sql,
     parse_sql_script,
     sql_repr,
 )
 from repro.sqlengine.lexer import tokenize_sql
-from repro.sqlengine.sqlast import Binary, ColumnRef, Insert, Literal, Select
+from repro.sqlengine.sqlast import Binary, Insert, Literal, Select
 
 
 @pytest.fixture
