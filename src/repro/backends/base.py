@@ -85,6 +85,7 @@ class Backend(abc.ABC):
         mapping: SchemaMapping,
         inputs: Dict[str, Cube],
         wanted: Optional[Iterable[str]] = None,
+        check: Optional[Callable[[], None]] = None,
     ) -> Dict[str, Cube]:
         """Execute a whole mapping: the backend-side chase equivalent.
 
@@ -93,6 +94,10 @@ class Backend(abc.ABC):
             inputs: elementary cube instances, keyed by name.
             wanted: derived cubes to extract (default: every tgd target
                 that is not a normalization temporary).
+            check: cooperative cancellation hook, invoked between tgd
+                units; the dispatcher passes a wall-clock deadline
+                checker that raises
+                :class:`~repro.errors.DeadlineExceededError`.
 
         Returns:
             The computed cubes, keyed by name.
@@ -105,6 +110,8 @@ class Backend(abc.ABC):
                 raise BackendError(f"missing input cube {source!r}")
             self.load_cube(store, inputs[source])
         for unit in units:
+            if check is not None:
+                check()
             unit.runner(store)
         if wanted is None:
             wanted = [

@@ -9,7 +9,7 @@ translation computes the same solution the chase does.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..chase.engine import StratifiedChase
 from ..chase.instance import RelationalInstance
@@ -98,9 +98,15 @@ class ChaseBackend(Backend):
         mapping: SchemaMapping,
         inputs: Dict[str, Cube],
         wanted: Optional[Iterable[str]] = None,
+        check: Optional[Callable[[], None]] = None,
     ) -> Dict[str, Cube]:
         if not self.parallel and self.cache is None:
-            return super().run_mapping(mapping, inputs, wanted)
+            return super().run_mapping(mapping, inputs, wanted, check=check)
+        # the scheduler path runs whole strata at once; the cooperative
+        # deadline check fires once up front (coarser than per-unit,
+        # but the wall-clock deadline still bounds the attempt)
+        if check is not None:
+            check()
         source = RelationalInstance()
         for tgd in mapping.st_tgds:
             name = tgd.lhs[0].relation

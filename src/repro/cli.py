@@ -22,13 +22,24 @@ Commands:
 * ``show``    — print the generated schema mapping (tgds + egds);
 * ``compile`` — print the generated script for one target system;
 * ``explain`` — print the determination plan (subgraphs and targets);
-* ``run``     — execute the program, writing derived cubes as CSVs.
+* ``run``     — execute the program, writing derived cubes as CSVs;
+* ``resume``  — finish a partially-failed ``run`` from its state file.
+
+Fault tolerance: ``run`` accepts ``--retries`` / ``--deadline`` /
+``--on-error fail|continue|degrade`` and a deterministic fault-injection
+spec (``--inject-faults``, see :mod:`repro.engine.faults`).  When a run
+ends with failed or skipped subgraphs, the per-subgraph outcomes and
+the committed cubes are persisted next to the outputs
+(``<out>/run-state.json`` + ``<out>/.committed/``); ``resume`` reloads
+them and re-dispatches only the unfinished subgraphs.  Exit codes:
+0 success, 1 error, 3 partial failure (state file written).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -134,6 +145,7 @@ def _build_engine(
     vectorize: bool = True,
     tracer=None,
     metrics=None,
+    backoff_s=None,
 ) -> EXLEngine:
     engine = EXLEngine(
         parallel=parallel,
@@ -142,6 +154,7 @@ def _build_engine(
         vectorize=vectorize,
         tracer=tracer,
         metrics=metrics,
+        backoff_s=backoff_s,
     )
     for schema in project.schemas:
         engine.declare_elementary(schema)
@@ -161,6 +174,100 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def _fault_plan_from(args):
+    if not getattr(args, "inject_faults", None):
+        return None
+    from .engine.faults import parse_fault_spec
+
+    return parse_fault_spec(args.inject_faults, seed=args.fault_seed)
+
+
+def _state_path(args, out_dir: Path) -> Path:
+    return Path(args.state) if args.state else out_dir / "run-state.json"
+
+
+def _merged_state_record(previous: Optional[Dict[str, Any]], record) -> Dict[str, Any]:
+    """Fold a (possibly resumed) run into the persisted record.
+
+    Subgraphs re-dispatched by the new run replace their old outcomes;
+    everything the earlier run already committed is kept.
+    """
+    merged = record.to_json()
+    if previous is not None:
+        by_cubes = {tuple(s["cubes"]): s for s in merged["subgraphs"]}
+        folded = []
+        for sub in previous["subgraphs"]:
+            folded.append(by_cubes.pop(tuple(sub["cubes"]), sub))
+        folded.extend(by_cubes.values())
+        merged["subgraphs"] = folded
+    return merged
+
+
+def _persist_state(engine, state_record: Dict[str, Any], out_dir: Path,
+                   state_path: Path) -> None:
+    """Write the resumable state: outcomes + committed cube snapshots."""
+    committed_dir = out_dir / ".committed"
+    committed_dir.mkdir(parents=True, exist_ok=True)
+    committed: Dict[str, str] = {}
+    for sub in state_record["subgraphs"]:
+        if sub["outcome"] in ("ok", "retried", "degraded"):
+            for name in sub["cubes"]:
+                destination = committed_dir / f"{name}.csv"
+                write_cube_csv(engine.data(name), destination)
+                committed[name] = str(destination.relative_to(out_dir))
+    state_path.parent.mkdir(parents=True, exist_ok=True)
+    state_path.write_text(
+        json.dumps({"record": state_record, "committed": committed}, indent=2)
+        + "\n"
+    )
+
+
+def _write_outputs(engine, project, record, out_dir: Path) -> None:
+    names = project.outputs or list(
+        dict.fromkeys(
+            cube for sub in record["subgraphs"] for cube in sub["cubes"]
+        )
+    )
+    for name in names:
+        if not engine.catalog.has_data(name):
+            print(f"skipped {name}: not computed (see run state)", file=sys.stderr)
+            continue
+        cube = engine.data(name)
+        destination = out_dir / f"{name}.csv"
+        write_cube_csv(cube, destination)
+        print(f"wrote {destination} ({len(cube)} tuples)")
+
+
+def _finish_run(engine, project, record, previous_state, args) -> int:
+    """Shared run/resume epilogue: outputs, state file, exit code."""
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    state_record = _merged_state_record(
+        previous_state["record"] if previous_state else None, record
+    )
+    state_path = _state_path(args, out_dir)
+    unfinished = [
+        s for s in state_record["subgraphs"]
+        if s["outcome"] not in ("ok", "retried", "degraded")
+    ]
+    _write_outputs(engine, project, state_record, out_dir)
+    if unfinished:
+        _persist_state(engine, state_record, out_dir, state_path)
+        print(
+            f"partial failure: {len(unfinished)} subgraph(s) unfinished; "
+            f"state written to {state_path} — finish with: "
+            f"exl resume {args.project} --out {out_dir}",
+            file=sys.stderr,
+        )
+        return 3
+    if state_path.exists():
+        state_path.unlink()
+    committed_dir = out_dir / ".committed"
+    if committed_dir.is_dir():
+        shutil.rmtree(committed_dir)
+    return 0
+
+
 def cmd_run(args) -> int:
     project = load_project(args.project)
     tracer = Tracer() if args.trace else None
@@ -173,9 +280,30 @@ def cmd_run(args) -> int:
         vectorize=not args.no_vectorize,
         tracer=tracer,
         metrics=metrics,
+        backoff_s=args.backoff,
     )
     try:
-        record = engine.run()
+        record = engine.run(
+            retries=args.retries,
+            deadline_s=args.deadline,
+            on_error=args.on_error,
+            fault_plan=_fault_plan_from(args),
+        )
+    except ReproError:
+        # fail-fast abort: the closed record still carries per-subgraph
+        # outcomes, so persist the resumable state before surfacing it
+        record = engine.runs.last()
+        if record is not None and record.subgraphs:
+            out_dir = Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            _persist_state(
+                engine, record.to_json(), out_dir, _state_path(args, out_dir)
+            )
+            print(
+                f"run aborted; state written to {_state_path(args, out_dir)}",
+                file=sys.stderr,
+            )
+        raise
     finally:
         # the trace is most valuable when the run failed mid-chase
         if tracer is not None:
@@ -189,15 +317,54 @@ def cmd_run(args) -> int:
     if args.metrics:
         print("\nmetrics:")
         print(engine.metrics.render())
+    return _finish_run(engine, project, record, None, args)
+
+
+def cmd_resume(args) -> int:
+    project = load_project(args.project)
     out_dir = Path(args.out)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    names = project.outputs or list(record.affected)
-    for name in names:
-        cube = engine.data(name)
-        destination = out_dir / f"{name}.csv"
-        write_cube_csv(cube, destination)
-        print(f"wrote {destination} ({len(cube)} tuples)")
-    return 0
+    state_path = _state_path(args, out_dir)
+    if not state_path.exists():
+        print(f"no run state at {state_path}: nothing to resume", file=sys.stderr)
+        return 2
+    state = json.loads(state_path.read_text())
+    engine = _build_engine(
+        project,
+        parallel=args.parallel,
+        jobs=args.jobs,
+        chase_cache=not args.no_chase_cache,
+        vectorize=not args.no_vectorize,
+        backoff_s=args.backoff,
+    )
+    # re-admit the committed cubes of the interrupted run, then its
+    # record; resume() re-dispatches only the failed/skipped subgraphs
+    for name, rel_path in state.get("committed", {}).items():
+        cube = read_cube_csv(engine.catalog.schema_of(name), out_dir / rel_path)
+        engine.catalog.store.put(cube)
+    restored = engine.runs.restore(state["record"])
+    before = {
+        name: len(engine.catalog.store.versions(name))
+        for name in engine.catalog.store.names()
+    }
+    record = engine.resume(
+        run_id=restored.run_id,
+        retries=args.retries,
+        deadline_s=args.deadline,
+        on_error=args.on_error,
+        fault_plan=_fault_plan_from(args),
+    )
+    print(record.summary())
+    recomputed = [
+        name
+        for name, count in before.items()
+        if engine.catalog.is_derived(name)
+        and len(engine.catalog.store.versions(name)) > count
+        and name not in record.affected
+    ]
+    if recomputed:  # pragma: no cover - guarded by the dispatcher
+        print(f"warning: recomputed already-committed cubes {recomputed}",
+              file=sys.stderr)
+    return _finish_run(engine, project, record, state, args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -224,33 +391,91 @@ def main(argv: Optional[List[str]] = None) -> int:
     explain.add_argument("project")
     explain.set_defaults(func=cmd_explain)
 
+    def add_execution_flags(command):
+        command.add_argument(
+            "--out", default="out", help="output directory for CSVs"
+        )
+        command.add_argument(
+            "--parallel",
+            action="store_true",
+            help="execute independent strata/subgraphs concurrently "
+            "(solution-equivalent to the sequential stratified chase)",
+        )
+        command.add_argument(
+            "--jobs",
+            type=int,
+            default=4,
+            metavar="N",
+            help="worker threads for parallel waves (default: 4)",
+        )
+        command.add_argument(
+            "--no-chase-cache",
+            action="store_true",
+            help="disable the cube-level chase materialization cache",
+        )
+        command.add_argument(
+            "--no-vectorize",
+            action="store_true",
+            help="disable the columnar chase kernels and run the "
+            "tuple-at-a-time chase (bit-exact ablation baseline)",
+        )
+        command.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="retry transient backend failures up to N times per "
+            "subgraph, with exponential backoff and jitter (default: 0)",
+        )
+        command.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock deadline per subgraph execution (including "
+            "its retries); overruns count as permanent failures",
+        )
+        command.add_argument(
+            "--on-error",
+            choices=["fail", "continue", "degrade"],
+            default=None,
+            help="partial-failure semantics: 'fail' aborts on the first "
+            "failed subgraph (default); 'continue' keeps running "
+            "independent subgraphs and skips dependents; 'degrade' "
+            "additionally re-runs permanently-failed subgraphs on their "
+            "fallback backend (the reference chase)",
+        )
+        command.add_argument(
+            "--backoff",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="base retry backoff (default: 0.05s, doubling per retry)",
+        )
+        command.add_argument(
+            "--inject-faults",
+            metavar="SPEC",
+            help="deterministic fault injection, e.g. "
+            "'*:transient:p=0.3' or 'sql:permanent;r:delay:delay=0.1' "
+            "(see repro.engine.faults for the grammar)",
+        )
+        command.add_argument(
+            "--fault-seed",
+            type=int,
+            default=0,
+            metavar="N",
+            help="seed for the fault-injection plan (default: 0)",
+        )
+        command.add_argument(
+            "--state",
+            metavar="FILE",
+            help="run-state file for resumable partial failures "
+            "(default: <out>/run-state.json)",
+        )
+
     run = sub.add_parser("run", help="execute the program and export CSVs")
     run.add_argument("project")
-    run.add_argument("--out", default="out", help="output directory for CSVs")
-    run.add_argument(
-        "--parallel",
-        action="store_true",
-        help="execute independent strata/subgraphs concurrently "
-        "(solution-equivalent to the sequential stratified chase)",
-    )
-    run.add_argument(
-        "--jobs",
-        type=int,
-        default=4,
-        metavar="N",
-        help="worker threads for parallel waves (default: 4)",
-    )
-    run.add_argument(
-        "--no-chase-cache",
-        action="store_true",
-        help="disable the cube-level chase materialization cache",
-    )
-    run.add_argument(
-        "--no-vectorize",
-        action="store_true",
-        help="disable the columnar chase kernels and run the "
-        "tuple-at-a-time chase (bit-exact ablation baseline)",
-    )
+    add_execution_flags(run)
     run.add_argument(
         "--trace",
         metavar="FILE",
@@ -266,6 +491,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "widths/durations) after the run",
     )
     run.set_defaults(func=cmd_run)
+
+    resume = sub.add_parser(
+        "resume",
+        help="finish a partially-failed run: re-dispatch only its "
+        "failed/skipped subgraphs, reusing the committed cubes",
+    )
+    resume.add_argument("project")
+    add_execution_flags(resume)
+    resume.set_defaults(func=cmd_resume)
 
     args = parser.parse_args(argv)
     try:

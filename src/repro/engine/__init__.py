@@ -13,9 +13,10 @@ from .determination import (
     Subgraph,
     choose_target,
 )
-from .dispatcher import Dispatcher
+from .dispatcher import ON_ERROR_MODES, Dispatcher, default_fallback_chains
 from .exlengine import EXLEngine
-from .history import RunLog, RunRecord, SubgraphRecord
+from .faults import FaultPlan, FaultRule, FaultyBackend, parse_fault_spec
+from .history import COMMITTED_OUTCOMES, RunLog, RunRecord, SubgraphRecord
 from .translation import TranslatedSubgraph, TranslationEngine
 
 __all__ = [
@@ -26,8 +27,15 @@ __all__ = [
     "TranslationEngine",
     "TranslatedSubgraph",
     "Dispatcher",
+    "ON_ERROR_MODES",
+    "default_fallback_chains",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyBackend",
+    "parse_fault_spec",
     "RunRecord",
     "RunLog",
     "SubgraphRecord",
+    "COMMITTED_OUTCOMES",
     "EXLEngine",
 ]

@@ -1,28 +1,69 @@
-"""The dispatcher (Section 6).
+"""The dispatcher (Section 6), hardened for partial failure.
 
 Assigns each translated subgraph to its target engine and executes them
 in dependency order.  Subgraphs with no mutual dependencies form a
 *wave* and can run concurrently (the paper's "parallelization and
-optimization patterns"); ``parallel=True`` executes each wave on a
-thread pool.  Data moves between engines through the catalog's
-versioned store: inputs are read from it, results written back.
+optimization patterns"); ``parallel=True`` executes every wave on one
+shared thread pool.  Data moves between engines through the catalog's
+versioned store: inputs are read from it, results written back — all
+cubes of a subgraph are staged first and committed atomically under the
+dispatcher lock, so a crash mid-subgraph never publishes half of it.
+
+Fault tolerance (the paper's chase "never fails"; real target engines
+do):
+
+* **Retries** — :class:`~repro.errors.TransientBackendError` is retried
+  up to ``retries`` times with exponential backoff and deterministic
+  jitter; every other exception is treated as permanent.
+* **Deadlines** — ``deadline_s`` bounds each subgraph execution
+  (including its retries) in wall-clock time; backends are checked
+  cooperatively between tgd units and overruns raise
+  :class:`~repro.errors.DeadlineExceededError`.
+* **Degradation** — under ``on_error="degrade"``, a subgraph whose
+  native backend failed permanently is re-translated for each target in
+  its fallback chain (default: the reference chase backend, which
+  supports every operator) and re-run there.
+* **Partial failure** — under ``on_error="continue"`` (or ``degrade``),
+  a failed subgraph does not abort the run: independent subgraphs in
+  the same and later waves keep executing, downstream dependents are
+  marked *skipped*, and every planned subgraph leaves a
+  :class:`SubgraphRecord` with its outcome so the run can be resumed.
+  Under the default ``on_error="fail"``, the original exception
+  propagates unchanged once the current wave has drained.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..errors import EngineError
+from ..errors import (
+    DeadlineExceededError,
+    EngineError,
+    TransientBackendError,
+)
 from ..model.catalog import MetadataCatalog
 from ..model.cube import Cube
 from ..obs import NULL_TRACER, MetricsRegistry
+from . import faults as faults_mod
 from .determination import DependencyGraph
+from .faults import FaultPlan, _stable_unit
 from .history import RunRecord, SubgraphRecord
 from .translation import TranslatedSubgraph
 
-__all__ = ["Dispatcher"]
+__all__ = ["Dispatcher", "ON_ERROR_MODES", "default_fallback_chains"]
+
+ON_ERROR_MODES = ("fail", "continue", "degrade")
+
+
+def default_fallback_chains() -> Dict[str, Tuple[str, ...]]:
+    """Every native target degrades to the reference chase backend."""
+    return {
+        target: ("chase",)
+        for target in ("sql", "r", "rscript", "matlab", "mscript", "etl")
+    }
 
 
 class Dispatcher:
@@ -37,6 +78,14 @@ class Dispatcher:
         as_of: Optional[int] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        retries: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        on_error: Optional[str] = None,
+        backoff_s: Optional[float] = None,
+        backoff_factor: float = 2.0,
+        fallback: Optional[Mapping[str, Sequence[str]]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retranslate=None,
     ):
         self.catalog = catalog
         self.graph = graph
@@ -47,7 +96,47 @@ class Dispatcher:
         self.as_of = as_of
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = MetricsRegistry() if metrics is None else metrics
-        self._computed_this_run: set = set()
+        # -- failure policy; None falls back to the chaos-mode defaults
+        # (tests/CI running the suite under injected faults), then to
+        # the fail-fast zero-retry behaviour of the plain dispatcher
+        if retries is None:
+            retries = faults_mod.chaos_retries() or 0
+        self.retries = max(0, int(retries))
+        self.deadline_s = deadline_s
+        if on_error is None:
+            on_error = "fail"
+        if on_error not in ON_ERROR_MODES:
+            raise EngineError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        self.on_error = on_error
+        if backoff_s is None:
+            backoff_s = faults_mod.chaos_backoff_s()
+            if backoff_s is None:
+                backoff_s = 0.05
+        self.backoff_s = backoff_s
+        self.backoff_factor = backoff_factor
+        self.fallback: Dict[str, Tuple[str, ...]] = {
+            target: tuple(chain)
+            for target, chain in (
+                fallback if fallback is not None else default_fallback_chains()
+            ).items()
+        }
+        if fault_plan is None:
+            fault_plan = faults_mod.chaos_plan()
+        self.fault_plan = fault_plan
+        #: ``(cubes, target) -> TranslatedSubgraph``, wired to
+        #: ``TranslationEngine.for_target`` by the engine; without it
+        #: degradation is unavailable
+        self.retranslate = retranslate
+        # -- shared mutable state; every access goes through the lock.
+        # _computed_this_run feeds the as_of vintage logic; _unavailable
+        # holds cubes whose producing subgraph failed or was skipped, so
+        # dependents skip instead of silently reading stale versions.
+        self._lock = threading.Lock()
+        self._computed_this_run: Set[str] = set()
+        self._unavailable: Set[str] = set()
+        self._errors: Dict[Tuple[str, ...], BaseException] = {}
 
     def dispatch(
         self, translated: Sequence[TranslatedSubgraph], record: RunRecord
@@ -56,30 +145,74 @@ class Dispatcher:
         waves = self.waves(translated)
         record.waves = len(waves)
         record.max_wave_width = max((len(w) for w in waves), default=0)
-        for index, wave in enumerate(waves):
-            started = time.perf_counter()
-            with self.tracer.span(
-                f"dispatch:wave:{index + 1}", category="dispatch",
-                width=len(wave),
-            ) as wave_span:
-                if self.parallel and len(wave) > 1:
-                    with ThreadPoolExecutor(
-                        max_workers=self.max_workers
-                    ) as pool:
+        record.on_error = self.on_error
+        # one pool for the whole dispatch, not one per wave
+        pool = (
+            ThreadPoolExecutor(max_workers=self.max_workers)
+            if self.parallel
+            else None
+        )
+        try:
+            for index, wave in enumerate(waves):
+                started = time.perf_counter()
+                with self.tracer.span(
+                    f"dispatch:wave:{index + 1}", category="dispatch",
+                    width=len(wave),
+                ) as wave_span:
+                    if pool is not None and len(wave) > 1:
                         results = list(
                             pool.map(
-                                lambda t: self._execute(t, wave_span), wave
+                                lambda t: self._run_subgraph(t, wave_span),
+                                wave,
                             )
                         )
-                else:
-                    results = [self._execute(t, wave_span) for t in wave]
-            self.metrics.observe("dispatch.wave.width", len(wave))
-            self.metrics.observe(
-                "dispatch.wave.duration_s", time.perf_counter() - started
-            )
-            for subgraph_record in results:
-                record.subgraphs.append(subgraph_record)
+                    else:
+                        results = [self._run_subgraph(t, wave_span) for t in wave]
+                self.metrics.observe("dispatch.wave.width", len(wave))
+                self.metrics.observe(
+                    "dispatch.wave.duration_s", time.perf_counter() - started
+                )
+                record.subgraphs.extend(results)
+                if self.on_error == "fail":
+                    failed = next(
+                        (r for r in results if r.outcome == "failed"), None
+                    )
+                    if failed is not None:
+                        # persist outcomes for the work that never ran,
+                        # so a resume knows what is left, then surface
+                        # the original exception unchanged
+                        self._record_unreached(waves[index + 1 :], record)
+                        raise self._errors.get(
+                            failed.cubes,
+                            EngineError(
+                                f"subgraph {failed.cubes} failed: {failed.error}"
+                            ),
+                        )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
         self.metrics.inc("dispatch.subgraphs", len(record.subgraphs))
+
+    def _record_unreached(
+        self, remaining_waves: Sequence[Sequence[TranslatedSubgraph]],
+        record: RunRecord,
+    ) -> None:
+        for wave in remaining_waves:
+            for item in wave:
+                with self._lock:
+                    self._unavailable.update(item.subgraph.cubes)
+                record.subgraphs.append(
+                    SubgraphRecord(
+                        item.subgraph.cubes,
+                        item.subgraph.target,
+                        0.0,
+                        0,
+                        {},
+                        outcome="skipped",
+                        attempts=0,
+                        error="not reached: an earlier wave aborted the run",
+                    )
+                )
 
     def waves(
         self, translated: Sequence[TranslatedSubgraph]
@@ -120,33 +253,230 @@ class Dispatcher:
         return waves
 
     # -- execution of one subgraph ----------------------------------------------
-    def _execute(
+    def _run_subgraph(
         self, item: TranslatedSubgraph, wave_span=None
     ) -> SubgraphRecord:
-        inputs = self._gather_inputs(item)
-        start = time.perf_counter()
-        with self.tracer.span(
-            f"subgraph:{item.subgraph.target}:{'+'.join(item.subgraph.cubes)}",
-            category="dispatch",
-            parent=wave_span,
-            target=item.subgraph.target,
-        ) as span:
-            outputs = item.backend.run_mapping(
-                item.mapping, inputs, wanted=list(item.subgraph.cubes)
+        """Execute one subgraph under the full failure policy."""
+        cubes = item.subgraph.cubes
+        with self._lock:
+            blocked = [n for n in item.inputs if n in self._unavailable]
+        if blocked:
+            with self._lock:
+                self._unavailable.update(cubes)
+            self.metrics.inc("dispatch.skipped")
+            return SubgraphRecord(
+                cubes,
+                item.subgraph.target,
+                0.0,
+                0,
+                {},
+                outcome="skipped",
+                attempts=0,
+                error=f"upstream cube(s) unavailable: {', '.join(blocked)}",
             )
+
+        start = time.perf_counter()
+        attempts = 0
+        recovered_error: Optional[str] = None
+        outputs = None
+        outcome = "failed"
+        executed_target = item.subgraph.target
+        try:
+            outputs, native_attempts, recovered_error = (
+                self._attempt_with_retries(item, wave_span)
+            )
+            attempts += native_attempts
+            outcome = "ok" if native_attempts == 1 else "retried"
+        except Exception as exc:
+            attempts += self._attempts_of(exc)
+            primary = exc
+            recovered_error = f"{type(exc).__name__}: {exc}"
+            if self._degradation_enabled(item):
+                outputs, fb_attempts, executed_target = self._degrade(
+                    item, wave_span
+                )
+                attempts += fb_attempts
+                if outputs is not None:
+                    outcome = "degraded"
+                    self.metrics.inc("dispatch.degraded")
+            if outputs is None:
+                with self._lock:
+                    self._unavailable.update(cubes)
+                    self._errors[cubes] = primary
+                self.metrics.inc("dispatch.failed")
+                return SubgraphRecord(
+                    cubes,
+                    item.subgraph.target,
+                    time.perf_counter() - start,
+                    0,
+                    {},
+                    outcome="failed",
+                    attempts=attempts,
+                    error=recovered_error,
+                )
+
         duration = time.perf_counter() - start
+        # stage every output cube first, then commit all of them under
+        # the lock: the store never sees a partially-written subgraph
+        staged = [(name, outputs[name]) for name in cubes]
         versions: Dict[str, int] = {}
         tuples = 0
-        for name in item.subgraph.cubes:
-            cube = outputs[name]
-            versions[name] = self.catalog.store.put(cube)
-            self._computed_this_run.add(name)
-            tuples += len(cube)
-        span.note(tuples_written=tuples)
+        with self._lock:
+            for name, cube in staged:
+                versions[name] = self.catalog.store.put(cube)
+                self._computed_this_run.add(name)
+                tuples += len(cube)
         self.metrics.observe("dispatch.subgraph.duration_s", duration)
         return SubgraphRecord(
-            item.subgraph.cubes, item.subgraph.target, duration, tuples, versions
+            cubes,
+            item.subgraph.target,
+            duration,
+            tuples,
+            versions,
+            outcome=outcome,
+            attempts=attempts,
+            error=recovered_error,
+            executed_target=executed_target,
         )
+
+    # -- retry / degradation machinery ---------------------------------------
+    def _attempt_with_retries(
+        self, item: TranslatedSubgraph, wave_span=None
+    ) -> Tuple[Dict[str, Cube], int, Optional[str]]:
+        """Run one translated subgraph, retrying transient failures.
+
+        Returns ``(outputs, attempts, recovered_error)`` where the last
+        element is the message of the most recent retried transient
+        failure (None when the first attempt succeeded).  Raises the
+        last error once retries are exhausted, the error is permanent,
+        or the deadline passed; the raised exception carries the attempt
+        count for the caller's bookkeeping.
+        """
+        cubes = item.subgraph.cubes
+        target = item.subgraph.target
+        deadline = (
+            time.monotonic() + self.deadline_s
+            if self.deadline_s is not None
+            else None
+        )
+        attempt = 0
+        recovered: Optional[str] = None
+        while True:
+            attempt += 1
+            try:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise DeadlineExceededError(
+                        f"subgraph {target}:{'+'.join(cubes)} exceeded its "
+                        f"{self.deadline_s:g}s deadline after "
+                        f"{attempt - 1} attempt(s)"
+                    )
+                outputs = self._run_attempt(item, attempt - 1, deadline, wave_span)
+                return outputs, attempt, recovered
+            except TransientBackendError as exc:
+                out_of_budget = attempt > self.retries or (
+                    deadline is not None and time.monotonic() >= deadline
+                )
+                if out_of_budget:
+                    exc._dispatch_attempts = attempt
+                    raise
+                recovered = f"{type(exc).__name__}: {exc}"
+                self.metrics.inc("dispatch.retries")
+                time.sleep(self._backoff_delay(cubes, attempt, deadline))
+            except Exception as exc:
+                exc._dispatch_attempts = attempt
+                raise
+
+    def _backoff_delay(
+        self,
+        cubes: Tuple[str, ...],
+        attempt: int,
+        deadline: Optional[float],
+    ) -> float:
+        """Exponential backoff with deterministic jitter.
+
+        The jitter fraction comes from a stable hash of the subgraph
+        and attempt — not a shared RNG — so parallel and sequential
+        dispatch sleep identically and stay reproducible.
+        """
+        delay = self.backoff_s * (self.backoff_factor ** (attempt - 1))
+        jitter = _stable_unit(0, "backoff", "+".join(cubes), attempt)
+        delay *= 0.5 + jitter  # in [0.5x, 1.5x)
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - time.monotonic()))
+        return delay
+
+    @staticmethod
+    def _attempts_of(exc: BaseException) -> int:
+        return getattr(exc, "_dispatch_attempts", 1)
+
+    def _run_attempt(
+        self,
+        item: TranslatedSubgraph,
+        attempt: int,
+        deadline: Optional[float],
+        wave_span=None,
+    ) -> Dict[str, Cube]:
+        inputs = self._gather_inputs(item)
+        target = item.subgraph.target
+        cubes = item.subgraph.cubes
+        check = None
+        if deadline is not None:
+            label = f"{target}:{'+'.join(cubes)}"
+            deadline_s = self.deadline_s
+
+            def check(_deadline=deadline, _label=label, _budget=deadline_s):
+                if time.monotonic() >= _deadline:
+                    raise DeadlineExceededError(
+                        f"subgraph {_label} exceeded its {_budget:g}s "
+                        f"deadline mid-execution"
+                    )
+
+        with self.tracer.span(
+            f"subgraph:{target}:{'+'.join(cubes)}",
+            category="dispatch",
+            parent=wave_span,
+            target=target,
+            attempt=attempt,
+        ):
+            if self.fault_plan is not None:
+                self.fault_plan.apply(
+                    target, cubes, attempt, metrics=self.metrics
+                )
+            return item.backend.run_mapping(
+                item.mapping, inputs, wanted=list(cubes), check=check
+            )
+
+    def _degradation_enabled(self, item: TranslatedSubgraph) -> bool:
+        return (
+            self.on_error == "degrade"
+            and self.retranslate is not None
+            and bool(self.fallback.get(item.subgraph.target))
+        )
+
+    def _degrade(
+        self, item: TranslatedSubgraph, wave_span=None
+    ) -> Tuple[Optional[Dict[str, Cube]], int, str]:
+        """Re-translate and re-run on each fallback target in turn.
+
+        Returns ``(outputs, attempts, executed_target)``; ``outputs``
+        is None when the whole chain failed.
+        """
+        native = item.subgraph.target
+        attempts = 0
+        for fallback_target in self.fallback.get(native, ()):
+            if fallback_target == native:
+                continue
+            try:
+                translated = self.retranslate(
+                    item.subgraph.cubes, fallback_target
+                )
+                outputs, fb_attempts, _ = self._attempt_with_retries(
+                    translated, wave_span
+                )
+                return outputs, attempts + fb_attempts, fallback_target
+            except Exception as exc:
+                attempts += self._attempts_of(exc)
+        return None, attempts, native
 
     def _gather_inputs(self, item: TranslatedSubgraph) -> Dict[str, Cube]:
         inputs: Dict[str, Cube] = {}
@@ -157,7 +487,10 @@ class Dispatcher:
                     f"which has no stored data"
                 )
             version = None
-            if self.as_of is not None and name not in self._computed_this_run:
-                version = self.as_of
+            if self.as_of is not None:
+                with self._lock:
+                    fresh = name in self._computed_this_run
+                if not fresh:
+                    version = self.as_of
             inputs[name] = self.catalog.data(name, version)
         return inputs

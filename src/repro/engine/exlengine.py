@@ -28,7 +28,8 @@ from ..model.catalog import MetadataCatalog
 from ..model.cube import Cube, CubeSchema
 from ..obs import NULL_TRACER, MetricsRegistry
 from .determination import DEFAULT_TARGET_PRIORITY, DependencyGraph, Subgraph
-from .dispatcher import Dispatcher
+from .dispatcher import ON_ERROR_MODES, Dispatcher
+from .faults import FaultPlan
 from .history import RunLog, RunRecord
 from .translation import TranslationEngine
 
@@ -50,11 +51,29 @@ class EXLEngine:
         vectorize: Optional[bool] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        retries: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        on_error: Optional[str] = None,
+        backoff_s: Optional[float] = None,
+        fallback: Optional[Dict[str, Sequence[str]]] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.registry = registry or default_registry()
         self.backends = backends or all_backends()
         self.target_priority = tuple(target_priority)
         self.parallel = parallel
+        # -- failure policy defaults, overridable per run()/resume();
+        # None lets the dispatcher resolve chaos-mode / built-in defaults
+        if on_error is not None and on_error not in ON_ERROR_MODES:
+            raise EngineError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        self.retries = retries
+        self.deadline_s = deadline_s
+        self.on_error = on_error
+        self.backoff_s = backoff_s
+        self.fallback = fallback
+        self.fault_plan = fault_plan
         #: worker threads for parallel waves (dispatcher and chase scheduler)
         self.jobs = max(1, int(jobs))
         #: columnar chase kernels on/off (None = engine default, i.e. on)
@@ -161,6 +180,10 @@ class EXLEngine:
         self,
         changed: Optional[Iterable[str]] = None,
         as_of: Optional[int] = None,
+        retries: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        on_error: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> RunRecord:
         """One determination → translation → dispatch cycle.
 
@@ -172,6 +195,13 @@ class EXLEngine:
                 this historical version (derived intermediates are
                 recomputed, not read historically).  Results are stored
                 as new versions, so the replay itself is versioned.
+            retries / deadline_s / on_error / fault_plan: per-run
+                overrides of the engine's failure policy (see
+                :class:`~repro.engine.dispatcher.Dispatcher`).  Under
+                ``on_error="continue"`` or ``"degrade"`` the run
+                finishes even when subgraphs fail; the returned record
+                then carries a partial-failure ``error`` and per-
+                subgraph outcomes, and :meth:`resume` can finish it.
         """
         if changed is None:
             changed = self._loaded_since_last_run or [
@@ -202,45 +232,136 @@ class EXLEngine:
             self.metrics.inc("engine.runs")
             self.metrics.observe("engine.determination_s", determination_s)
             self.metrics.observe("engine.translation_s", translation_s)
-            chase_backend = self.backends.get("chase")
-            count_kernels = isinstance(chase_backend, ChaseBackend)
-            if count_kernels:
-                kernels_before = (
-                    chase_backend.vectorized_tgds,
-                    chase_backend.fallback_tgds,
-                )
-            dispatcher = Dispatcher(
-                self.catalog,
-                self.graph,
-                self.parallel,
-                max_workers=self.jobs,
+            self._dispatch(
+                translated,
+                record,
                 as_of=as_of,
-                tracer=self.tracer,
-                metrics=self.metrics,
+                retries=self.retries if retries is None else retries,
+                deadline_s=self.deadline_s if deadline_s is None else deadline_s,
+                on_error=self.on_error if on_error is None else on_error,
+                fault_plan=self.fault_plan if fault_plan is None else fault_plan,
             )
-            t2 = time.perf_counter()
-            try:
-                with self.tracer.span("dispatch", category="engine"):
-                    dispatcher.dispatch(translated, record)
-            except Exception as exc:
-                # close the record in its failure state so duration and
-                # history stay meaningful, then let the error propagate
-                record.error = f"{type(exc).__name__}: {exc}"
-                self.metrics.inc("engine.runs.failed")
-                self.runs.close(record)
-                raise
-            self.metrics.observe(
-                "engine.dispatch_s", time.perf_counter() - t2
-            )
-            if count_kernels:
-                record.vectorized_tgds = (
-                    chase_backend.vectorized_tgds - kernels_before[0]
-                )
-                record.fallback_tgds = (
-                    chase_backend.fallback_tgds - kernels_before[1]
-                )
-            self.runs.close(record)
         self._loaded_since_last_run = []
+        return record
+
+    def resume(
+        self,
+        run_id: Optional[int] = None,
+        retries: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        on_error: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> RunRecord:
+        """Finish a partially-failed run: re-dispatch only its
+        failed/skipped subgraphs.
+
+        Cubes the original run committed are *not* recomputed — the
+        resumed subgraphs read them straight from the versioned store.
+        Defaults to the most recent resumable run; the engine's
+        ``fault_plan`` is deliberately **not** inherited (resume exists
+        to recover from faults), pass one explicitly to keep injecting.
+
+        Returns the new run's record (``resumed_from`` links back).
+        """
+        if run_id is None:
+            resumable = self.runs.failed()
+            if not resumable:
+                raise EngineError("no failed or partial runs to resume")
+            source = resumable[-1]
+        else:
+            source = self.runs.get(run_id)
+            if source is None:
+                raise EngineError(f"unknown run id {run_id}")
+        todo = source.unfinished_subgraphs()
+        if not todo:
+            raise EngineError(f"run {source.run_id} left nothing to resume")
+        subgraphs = [Subgraph(s.cubes, s.target) for s in todo]
+        with self.tracer.span(
+            "resume", category="engine", source_run=source.run_id
+        ) as run_span:
+            t1 = time.perf_counter()
+            with self.tracer.span("translation", category="engine"):
+                translated = self.translator.translate_all(subgraphs)
+            translation_s = time.perf_counter() - t1
+            record = self.runs.open(
+                (f"resume:{source.run_id}",),
+                [cube for s in todo for cube in s.cubes],
+            )
+            record.resumed_from = source.run_id
+            record.translation_s = translation_s
+            run_span.note(run_id=record.run_id)
+            self.metrics.inc("engine.resumes")
+            self._dispatch(
+                translated,
+                record,
+                retries=self.retries if retries is None else retries,
+                deadline_s=self.deadline_s if deadline_s is None else deadline_s,
+                on_error=self.on_error if on_error is None else on_error,
+                fault_plan=fault_plan,
+            )
+        return record
+
+    def _dispatch(
+        self,
+        translated,
+        record: RunRecord,
+        as_of: Optional[int] = None,
+        retries: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        on_error: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> RunRecord:
+        """Dispatch + record bookkeeping shared by run() and resume()."""
+        chase_backend = self.backends.get("chase")
+        count_kernels = isinstance(chase_backend, ChaseBackend)
+        if count_kernels:
+            kernels_before = (
+                chase_backend.vectorized_tgds,
+                chase_backend.fallback_tgds,
+            )
+        dispatcher = Dispatcher(
+            self.catalog,
+            self.graph,
+            self.parallel,
+            max_workers=self.jobs,
+            as_of=as_of,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            retries=retries,
+            deadline_s=deadline_s,
+            on_error=on_error,
+            backoff_s=self.backoff_s,
+            fallback=self.fallback,
+            fault_plan=fault_plan,
+            retranslate=self.translator.for_target,
+        )
+        t2 = time.perf_counter()
+        try:
+            with self.tracer.span("dispatch", category="engine"):
+                dispatcher.dispatch(translated, record)
+        except Exception as exc:
+            # close the record in its failure state so duration and
+            # history stay meaningful, then let the error propagate
+            record.error = f"{type(exc).__name__}: {exc}"
+            self.metrics.inc("engine.runs.failed")
+            self.runs.close(record)
+            raise
+        self.metrics.observe("engine.dispatch_s", time.perf_counter() - t2)
+        if count_kernels:
+            record.vectorized_tgds = (
+                chase_backend.vectorized_tgds - kernels_before[0]
+            )
+            record.fallback_tgds = (
+                chase_backend.fallback_tgds - kernels_before[1]
+            )
+        if any(not s.committed for s in record.subgraphs):
+            counts = record.outcomes()
+            record.error = (
+                f"partial failure: {counts.get('failed', 0)} subgraph(s) "
+                f"failed, {counts.get('skipped', 0)} skipped"
+            )
+            self.metrics.inc("engine.runs.partial")
+        self.runs.close(record)
         return record
 
     # -- inspection ---------------------------------------------------------------

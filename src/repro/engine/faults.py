@@ -1,0 +1,297 @@
+"""Deterministic, seeded fault injection for dispatch testing.
+
+A :class:`FaultPlan` decides — purely as a function of ``(seed, target,
+subgraph cubes, attempt index)`` — whether a given subgraph execution
+attempt should raise a :class:`~repro.errors.TransientBackendError`,
+raise a :class:`~repro.errors.PermanentBackendError`, or be delayed.
+Because the decision is a stable hash rather than a draw from a shared
+RNG stream, the *same* faults fire no matter how many worker threads
+dispatch the waves or in what order subgraphs are scheduled — the
+property the determinism tests (``--jobs 1`` vs ``--jobs 4``) rely on.
+
+Plans come from three places:
+
+* tests construct :class:`FaultRule`/:class:`FaultPlan` directly;
+* the CLI parses ``--inject-faults SPEC`` via :func:`parse_fault_spec`
+  (grammar below);
+* the CI chaos leg enables a process-wide plan through
+  :func:`enable_chaos`, which the dispatcher consults whenever the
+  caller did not pass an explicit plan — the whole tier-1 suite then
+  runs with transient faults firing and must still pass.
+
+Spec grammar (rules separated by ``;``)::
+
+    SPEC  := RULE [ ";" RULE ]...
+    RULE  := TARGET ":" KIND [ ":" OPT ]...
+    TARGET:= backend name | "*"
+    KIND  := "transient" | "permanent" | "delay"
+    OPT   := "p=" FLOAT      probability per attempt   (default 1.0)
+           | "n=" INT        fire only on the first N attempts
+           | "after=" INT    fire only from attempt N on (0-based)
+           | "delay=" FLOAT  seconds to sleep (kind "delay", default 0.05)
+           | "cubes=" A+B    only for subgraphs computing these cubes
+
+Examples::
+
+    *:transient:p=0.3            # 30% of attempts fail transiently
+    sql:permanent                # the SQL backend is down for good
+    r:transient:n=2              # first two attempts fail, then recover
+    chase:delay:delay=0.2:p=0.5  # half the chase runs stall 200ms
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import (
+    EngineError,
+    PermanentBackendError,
+    TransientBackendError,
+)
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "FaultyBackend",
+    "parse_fault_spec",
+    "enable_chaos",
+    "disable_chaos",
+    "chaos_plan",
+    "chaos_retries",
+    "chaos_backoff_s",
+]
+
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+DELAY = "delay"
+_KINDS = (TRANSIENT, PERMANENT, DELAY)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *who* it hits, *what* it does, *when*."""
+
+    target: str = "*"  # backend name, or "*" for every backend
+    kind: str = TRANSIENT
+    probability: float = 1.0  # per-attempt firing probability
+    first_n: Optional[int] = None  # only attempts 0..n-1
+    after: int = 0  # only attempts >= after
+    delay_s: float = 0.05  # sleep length for kind "delay"
+    cubes: Optional[Tuple[str, ...]] = None  # restrict to these subgraph cubes
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise EngineError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise EngineError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+
+    def matches(self, target: str, cubes: Tuple[str, ...], attempt: int) -> bool:
+        if self.target != "*" and self.target != target:
+            return False
+        if self.cubes is not None and not (set(self.cubes) & set(cubes)):
+            return False
+        if attempt < self.after:
+            return False
+        if self.first_n is not None and attempt >= self.after + self.first_n:
+            return False
+        return True
+
+
+def _stable_unit(seed: int, *parts: object) -> float:
+    """A deterministic uniform draw in [0, 1) from a stable hash.
+
+    Thread-schedule independent: the value depends only on the seed and
+    the identifying parts, never on call order, so parallel and
+    sequential dispatch see identical faults.
+    """
+    text = "\x1f".join([str(seed), *map(str, parts)])
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+class FaultPlan:
+    """A seeded set of fault rules applied to subgraph execution attempts."""
+
+    def __init__(self, rules: Iterable[FaultRule] = (), seed: int = 0):
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = seed
+        #: injection counts by kind, for assertions and reporting
+        self.injected: Dict[str, int] = {TRANSIENT: 0, PERMANENT: 0, DELAY: 0}
+        self._lock = threading.Lock()
+
+    def would_fire(
+        self, target: str, cubes: Tuple[str, ...], attempt: int
+    ) -> List[FaultRule]:
+        """The rules that fire for this attempt (no side effects)."""
+        fired = []
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(target, tuple(cubes), attempt):
+                continue
+            draw = _stable_unit(
+                self.seed, index, target, "+".join(cubes), attempt
+            )
+            if draw < rule.probability:
+                fired.append(rule)
+        return fired
+
+    def apply(
+        self,
+        target: str,
+        cubes: Tuple[str, ...],
+        attempt: int,
+        metrics=None,
+    ) -> None:
+        """Inject whatever the plan dictates for this attempt.
+
+        Delays sleep; transient/permanent rules raise (permanent wins if
+        both fire).  ``metrics`` receives ``faults.injected`` plus a
+        per-kind counter for every fault that fires.
+        """
+        fired = self.would_fire(target, tuple(cubes), attempt)
+        raise_kind = None
+        for rule in fired:
+            with self._lock:
+                self.injected[rule.kind] += 1
+            if metrics is not None:
+                metrics.inc("faults.injected")
+                metrics.inc(f"faults.injected.kind:{rule.kind}")
+            if rule.kind == DELAY:
+                time.sleep(rule.delay_s)
+            elif rule.kind == PERMANENT:
+                raise_kind = PERMANENT
+            elif raise_kind is None:
+                raise_kind = TRANSIENT
+        label = f"{target}:{'+'.join(cubes)} attempt {attempt}"
+        if raise_kind == PERMANENT:
+            raise PermanentBackendError(f"injected permanent fault on {label}")
+        if raise_kind == TRANSIENT:
+            raise TransientBackendError(f"injected transient fault on {label}")
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def wrap(self, backend) -> "FaultyBackend":
+        """A backend whose ``run_mapping`` consults this plan per call."""
+        return FaultyBackend(backend, self)
+
+
+class FaultyBackend:
+    """Wraps any backend; each ``run_mapping`` call is one attempt.
+
+    The attempt index is the per-(target, cubes) call count, so "fail
+    the first N calls then recover" rules behave deterministically even
+    when several wrapped backends run concurrently.
+    """
+
+    def __init__(self, inner, plan: FaultPlan):
+        self.inner = inner
+        self.plan = plan
+        self.name = inner.name
+        self._calls: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+        self._calls_lock = threading.Lock()
+
+    def run_mapping(self, mapping, inputs, wanted=None, check=None):
+        cubes = tuple(wanted) if wanted is not None else ()
+        key = (self.name, cubes)
+        with self._calls_lock:
+            attempt = self._calls.get(key, 0)
+            self._calls[key] = attempt + 1
+        self.plan.apply(self.name, cubes, attempt)
+        return self.inner.run_mapping(mapping, inputs, wanted=wanted, check=check)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def parse_fault_spec(spec: str, seed: int = 0) -> FaultPlan:
+    """Parse an ``--inject-faults`` spec string into a :class:`FaultPlan`."""
+    rules = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 2:
+            raise EngineError(
+                f"bad fault rule {chunk!r}: expected TARGET:KIND[:opt=value...]"
+            )
+        target, kind = parts[0].strip(), parts[1].strip()
+        options: Dict[str, object] = {}
+        for opt in parts[2:]:
+            if "=" not in opt:
+                raise EngineError(f"bad fault option {opt!r} in rule {chunk!r}")
+            key, _, value = opt.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "p":
+                options["probability"] = float(value)
+            elif key == "n":
+                options["first_n"] = int(value)
+            elif key == "after":
+                options["after"] = int(value)
+            elif key == "delay":
+                options["delay_s"] = float(value)
+            elif key == "cubes":
+                options["cubes"] = tuple(value.split("+"))
+            else:
+                raise EngineError(
+                    f"unknown fault option {key!r} in rule {chunk!r}"
+                )
+        rules.append(FaultRule(target=target, kind=kind, **options))
+    if not rules:
+        raise EngineError(f"fault spec {spec!r} contains no rules")
+    return FaultPlan(rules, seed=seed)
+
+
+# -- chaos mode: a process-wide default plan -----------------------------------
+#
+# When enabled (the CI fault-injection leg, or any pytest run with
+# ``--inject-faults``), every Dispatcher built without an explicit
+# fault plan picks this one up, together with enough retries to
+# guarantee recovery from bounded transient rules.
+
+
+@dataclass
+class _ChaosConfig:
+    plan: FaultPlan
+    retries: int = 3
+    backoff_s: float = 0.002  # keep chaos suites fast
+
+
+_chaos: Optional[_ChaosConfig] = None
+
+
+def enable_chaos(
+    spec: str, seed: int = 0, retries: int = 3, backoff_s: float = 0.002
+) -> FaultPlan:
+    """Install a process-wide fault plan (see module docstring)."""
+    global _chaos
+    plan = parse_fault_spec(spec, seed=seed)
+    _chaos = _ChaosConfig(plan=plan, retries=retries, backoff_s=backoff_s)
+    return plan
+
+
+def disable_chaos() -> None:
+    global _chaos
+    _chaos = None
+
+
+def chaos_plan() -> Optional[FaultPlan]:
+    return _chaos.plan if _chaos is not None else None
+
+
+def chaos_retries() -> Optional[int]:
+    return _chaos.retries if _chaos is not None else None
+
+
+def chaos_backoff_s() -> Optional[float]:
+    return _chaos.backoff_s if _chaos is not None else None

@@ -4,6 +4,20 @@ Cube data itself is versioned by :class:`~repro.model.VersionedStore`;
 this module records the *runs* — what triggered them, which subgraphs
 were dispatched where, how long each took, and the versions written —
 so any past state of the system can be reconstructed.
+
+Since the fault-tolerance layer, every planned subgraph leaves a record
+even when the run goes wrong: the per-subgraph ``outcome`` is one of
+
+* ``ok``       — executed on the first attempt and committed;
+* ``retried``  — committed after one or more transient-failure retries;
+* ``degraded`` — its native backend failed permanently, a fallback
+  backend (``executed_target``) recomputed and committed it;
+* ``skipped``  — never executed because an upstream subgraph failed;
+* ``failed``   — all attempts (and fallbacks, if any) failed.
+
+``failed``/``skipped`` records are what :meth:`EXLEngine.resume`
+re-dispatches; records serialize to/from plain JSON dicts so the CLI
+can persist a partial run across processes.
 """
 
 from __future__ import annotations
@@ -11,11 +25,14 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["SubgraphRecord", "RunRecord", "RunLog"]
+__all__ = ["SubgraphRecord", "RunRecord", "RunLog", "COMMITTED_OUTCOMES"]
 
 _run_counter = itertools.count(1)
+
+#: outcomes under which a subgraph's cubes were written to the store
+COMMITTED_OUTCOMES = ("ok", "retried", "degraded")
 
 
 @dataclass
@@ -27,6 +44,52 @@ class SubgraphRecord:
     duration_s: float
     tuples_written: int
     versions: Dict[str, int] = field(default_factory=dict)
+    #: ok | retried | degraded | skipped | failed
+    outcome: str = "ok"
+    #: execution attempts across native backend and fallbacks (0 if skipped)
+    attempts: int = 1
+    #: final error string for failed/skipped subgraphs (also kept for
+    #: retried/degraded ones: the error that was recovered from)
+    error: Optional[str] = None
+    #: backend that actually committed the result (differs from
+    #: ``target`` when the subgraph was degraded to a fallback)
+    executed_target: Optional[str] = None
+
+    def __post_init__(self):
+        self.cubes = tuple(self.cubes)
+        if self.executed_target is None:
+            self.executed_target = self.target
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome in COMMITTED_OUTCOMES
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "cubes": list(self.cubes),
+            "target": self.target,
+            "duration_s": self.duration_s,
+            "tuples_written": self.tuples_written,
+            "versions": dict(self.versions),
+            "outcome": self.outcome,
+            "attempts": self.attempts,
+            "error": self.error,
+            "executed_target": self.executed_target,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "SubgraphRecord":
+        return cls(
+            cubes=tuple(data["cubes"]),
+            target=data["target"],
+            duration_s=data.get("duration_s", 0.0),
+            tuples_written=data.get("tuples_written", 0),
+            versions=dict(data.get("versions", {})),
+            outcome=data.get("outcome", "ok"),
+            attempts=data.get("attempts", 1),
+            error=data.get("error"),
+            executed_target=data.get("executed_target"),
+        )
 
 
 @dataclass
@@ -48,8 +111,12 @@ class RunRecord:
     # fallen back to the tuple-at-a-time path during this run
     vectorized_tgds: int = 0
     fallback_tgds: int = 0
-    # failure state: set when the run raised during dispatch (the engine
-    # closes the record before re-raising, so duration stays meaningful)
+    # failure semantics the dispatch ran under (fail | continue | degrade)
+    on_error: str = "fail"
+    # run id this run resumed, when it was started by EXLEngine.resume
+    resumed_from: Optional[int] = None
+    # failure state: set when the run raised during dispatch, or — under
+    # on_error != "fail" — when any subgraph finished failed/skipped
     error: Optional[str] = None
 
     @property
@@ -76,14 +143,49 @@ class RunRecord:
     def execution_s(self) -> float:
         return sum(s.duration_s for s in self.subgraphs)
 
+    # -- outcome views ------------------------------------------------------
+    def outcomes(self) -> Dict[str, int]:
+        """Subgraph count per outcome (only outcomes that occurred)."""
+        counts: Dict[str, int] = {}
+        for record in self.subgraphs:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
+
+    def unfinished_subgraphs(self) -> List[SubgraphRecord]:
+        """The failed/skipped subgraphs a resume would re-dispatch."""
+        return [s for s in self.subgraphs if not s.committed]
+
+    @property
+    def complete(self) -> bool:
+        """Every planned subgraph committed its cubes."""
+        return self.finished and all(s.committed for s in self.subgraphs)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "trigger": list(self.trigger),
+            "affected": list(self.affected),
+            "subgraphs": [s.to_json() for s in self.subgraphs],
+            "waves": self.waves,
+            "max_wave_width": self.max_wave_width,
+            "on_error": self.on_error,
+            "resumed_from": self.resumed_from,
+            "error": self.error,
+        }
+
     def summary(self) -> str:
         state = ""
         if self.failed:
             state = f" FAILED ({self.error})"
         elif not self.finished:
             state = " UNFINISHED"
+        resumed = (
+            f" resumed-from={self.resumed_from}"
+            if self.resumed_from is not None
+            else ""
+        )
         lines = [
-            f"run {self.run_id}{state}: trigger={list(self.trigger)} "
+            f"run {self.run_id}{state}{resumed}: trigger={list(self.trigger)} "
             f"affected={len(self.affected)} cubes in {len(self.subgraphs)} "
             f"subgraphs, {self.duration_s:.3f}s total "
             f"(determination {self.determination_s * 1000:.1f}ms, "
@@ -92,9 +194,20 @@ class RunRecord:
             f"{self.fallback_tgds} fallback)"
         ]
         for record in self.subgraphs:
+            flags = ""
+            if record.outcome != "ok":
+                flags = f" [{record.outcome}"
+                if record.outcome == "degraded":
+                    flags += f" -> {record.executed_target}"
+                if record.attempts > 1:
+                    flags += f", {record.attempts} attempts"
+                flags += "]"
+                if record.error and not record.committed:
+                    flags += f" {record.error}"
             lines.append(
                 f"  [{record.target}] {', '.join(record.cubes)}: "
                 f"{record.tuples_written} tuples in {record.duration_s:.3f}s"
+                f"{flags}"
             )
         return "\n".join(lines)
 
@@ -119,12 +232,45 @@ class RunLog:
         record.finished_at = time.perf_counter()
         return record
 
+    def restore(self, data: Dict[str, Any]) -> RunRecord:
+        """Re-admit a serialized run record (CLI resume across processes).
+
+        The record gets a fresh ``run_id`` — the original process's
+        counter means nothing here — but keeps its subgraph outcomes
+        and error state, so :meth:`EXLEngine.resume` can pick it up.
+        """
+        record = self.open(data.get("trigger", ()), data.get("affected", ()))
+        record.subgraphs = [
+            SubgraphRecord.from_json(s) for s in data.get("subgraphs", [])
+        ]
+        record.waves = data.get("waves", 0)
+        record.max_wave_width = data.get("max_wave_width", 0)
+        record.on_error = data.get("on_error", "fail")
+        record.resumed_from = data.get("resumed_from")
+        record.error = data.get("error")
+        return self.close(record)
+
     @property
     def runs(self) -> List[RunRecord]:
         return list(self._runs)
 
     def last(self) -> Optional[RunRecord]:
         return self._runs[-1] if self._runs else None
+
+    def get(self, run_id: int) -> Optional[RunRecord]:
+        for record in self._runs:
+            if record.run_id == run_id:
+                return record
+        return None
+
+    def failed(self) -> List[RunRecord]:
+        """Runs that left work undone — raised, or finished with
+        failed/skipped subgraphs.  ``resume`` picks from these."""
+        return [
+            r
+            for r in self._runs
+            if r.failed or any(not s.committed for s in r.subgraphs)
+        ]
 
     def __len__(self) -> int:
         return len(self._runs)

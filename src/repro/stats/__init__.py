@@ -2,7 +2,7 @@
 
 This package replaces the statistical capabilities the paper borrows
 from R and Matlab (seasonal decomposition, regression, smoothing,
-aggregations), per the substitution rule in DESIGN.md §6.
+aggregations), per the substitution rule in DESIGN.md §7.
 """
 
 from .aggregates import AGGREGATES, aggregate_names, get_aggregate

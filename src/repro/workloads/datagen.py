@@ -1,7 +1,7 @@
 """Synthetic statistical data generators.
 
 The Bank of Italy's production data is not available, so these
-generators build the closest synthetic equivalents (DESIGN.md §6):
+generators build the closest synthetic equivalents (DESIGN.md §7):
 seasonal time series with trend + seasonal + noise structure, daily
 population panels, and quarterly per-capita indicators — everything
 the paper's GDP example and the benchmarks need.  All generators take

@@ -34,6 +34,30 @@ def pytest_addoption(parser):
         help="run every chase in the suite on the tuple-at-a-time path "
         "(CI runs the suite both ways)",
     )
+    parser.addoption(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="chaos mode: run the whole suite with this deterministic "
+        "fault plan active in every dispatcher built without an "
+        "explicit one (e.g. '*:transient:p=0.25:n=2'); paired with "
+        "--fault-retries, bounded transient rules must always recover, "
+        "so the suite is expected to stay green",
+    )
+    parser.addoption(
+        "--fault-seed",
+        action="store",
+        type=int,
+        default=0,
+        help="seed for the chaos-mode fault plan",
+    )
+    parser.addoption(
+        "--fault-retries",
+        action="store",
+        type=int,
+        default=3,
+        help="dispatcher retry budget while chaos mode is active",
+    )
 
 
 def pytest_configure(config):
@@ -42,6 +66,16 @@ def pytest_configure(config):
     import repro.chase.engine as chase_engine
 
     chase_engine.DEFAULT_VECTORIZED = not config.getoption("--no-vectorize")
+
+    spec = config.getoption("--inject-faults")
+    if spec:
+        from repro.engine import faults
+
+        faults.enable_chaos(
+            spec,
+            seed=config.getoption("--fault-seed"),
+            retries=config.getoption("--fault-retries"),
+        )
 
 
 @pytest.fixture(scope="session")
