@@ -15,7 +15,8 @@ the kernels are a pure executor swap (the property the randomized
 suite in ``tests/test_columnar_chase.py`` pins tuple for tuple).
 
 The timings are written as JSON (``COLUMNAR_BENCH_JSON``, default
-``bench_columnar_chase_results.json``) so CI can publish them as a
+``benchmarks/results/bench_columnar_chase_results.json``) so CI can
+publish them as a
 workflow artifact; with ``--bench-json`` they also land in the unified
 report that ``benchmarks/check_regression.py`` gates on.  Each entry
 carries trace-derived kernel-phase totals (encode/join/eval/egd-check/
@@ -221,9 +222,9 @@ def test_tracing_overhead(bench_report):
 
 def test_write_json_report():
     """Persist the measurements for the CI artifact (runs last)."""
-    out = Path(
-        os.environ.get("COLUMNAR_BENCH_JSON", "bench_columnar_chase_results.json")
-    )
+    default = Path(__file__).parent / "results" / "bench_columnar_chase_results.json"
+    out = Path(os.environ.get("COLUMNAR_BENCH_JSON", default))
+    out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps({"columnar_chase": _results}, indent=2) + "\n")
     print(f"\nwrote {out.resolve()}")
     assert out.exists()

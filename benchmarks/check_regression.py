@@ -1,18 +1,22 @@
 """CI benchmark-regression gate.
 
-Reads the unified benchmark report (``--bench-json`` output, e.g.
-``BENCH_PR3.json``) and fails — exit status 1 — if any recorded entry
-with both a ``speedup`` and a ``floor`` key fell below its floor.
+Reads the unified benchmark report (the ``--bench-json`` output,
+written under ``benchmarks/results/``) and fails — exit status 1 — if
+any recorded entry with both a ``speedup`` and a ``floor`` key fell
+below its floor.
 
 The floors are deliberately looser than the speedups measured on a
 quiet machine (scalar 6.6x -> floor 5x, aggregation 5.0x -> floor 3x,
-wave overlap 3.9x -> floor 2.5x): the gate catches real regressions —
-a de-vectorized kernel, a serialized wave — without flaking on shared
-CI runners.
+wave overlap 3.9x -> floor 2.5x, incremental delta update 25x ->
+floor 5x): the gate catches real regressions — a de-vectorized
+kernel, a serialized wave, a delta rule degraded to full recompute —
+without flaking on shared CI runners.
 
 Usage::
 
-    python benchmarks/check_regression.py BENCH_PR3.json
+    python benchmarks/check_regression.py [REPORT.json]
+
+The report defaults to ``benchmarks/results/BENCH_PR3.json``.
 """
 
 from __future__ import annotations
@@ -56,14 +60,17 @@ def check(document: Dict[str, Any]) -> List[str]:
     return violations
 
 
+DEFAULT_REPORT = Path(__file__).parent / "results" / "BENCH_PR3.json"
+
+
 def main(argv: List[str]) -> int:
-    if len(argv) != 1:
+    if len(argv) > 1:
         print(
-            "usage: python benchmarks/check_regression.py REPORT.json",
+            "usage: python benchmarks/check_regression.py [REPORT.json]",
             file=sys.stderr,
         )
         return 2
-    path = Path(argv[0])
+    path = Path(argv[0]) if argv else DEFAULT_REPORT
     if not path.exists():
         print(f"error: report {path} does not exist", file=sys.stderr)
         return 2

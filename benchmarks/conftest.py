@@ -52,6 +52,7 @@ class BenchReport:
 
     def write(self, path) -> Path:
         out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(self.sections, indent=2) + "\n")
         return out
 

@@ -11,6 +11,14 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
+from ..chase.delta import (
+    DeltaChase,
+    DeltaRunResult,
+    DeltaSnapshot,
+    DeltaStats,
+    DeltaUnsupported,
+    input_deltas_for,
+)
 from ..chase.engine import StratifiedChase
 from ..chase.instance import RelationalInstance
 from ..chase.scheduler import ChaseCache, ParallelStratifiedChase
@@ -65,6 +73,7 @@ class ChaseBackend(Backend):
         vectorized: Optional[bool] = None,
         tracer=None,
         metrics=None,
+        capture_deltas: bool = False,
     ):
         self.parallel = parallel
         self.max_workers = max_workers
@@ -75,12 +84,23 @@ class ChaseBackend(Backend):
         #: constructs (``None`` = untraced / per-chase registry)
         self.tracer = tracer
         self.metrics = metrics
+        #: keep a :class:`DeltaSnapshot` of every whole-mapping run so
+        #: :meth:`run_mapping_delta` can replay it incrementally.
+        #: Capture is cheap (references only, no copies); the engine
+        #: turns it on so ``EXLEngine.update`` gets tuple-level deltas
+        self.capture_deltas = capture_deltas
         # kernel decisions aggregated across every chase this backend
         # runs; the dispatcher may execute subgraphs concurrently
         self.vectorized_tgds = 0
         self.fallback_tgds = 0
         self.fallback_reasons: Dict[str, int] = {}
         self._kernel_lock = threading.Lock()
+        # snapshots keyed by mapping identity — sound because the
+        # translation engine caches TranslatedSubgraph per (cubes,
+        # target), so the same subgraph reuses one mapping object (and
+        # the snapshot keeps the mapping alive, pinning its id)
+        self._snapshots: Dict[int, DeltaSnapshot] = {}
+        self._snap_lock = threading.Lock()
 
     def _on_kernel(self, used: bool, reason: Optional[str] = None) -> None:
         with self._kernel_lock:
@@ -100,7 +120,7 @@ class ChaseBackend(Backend):
         wanted: Optional[Iterable[str]] = None,
         check: Optional[Callable[[], None]] = None,
     ) -> Dict[str, Cube]:
-        if not self.parallel and self.cache is None:
+        if not self.parallel and self.cache is None and not self.capture_deltas:
             return super().run_mapping(mapping, inputs, wanted, check=check)
         # the scheduler path runs whole strata at once; the cooperative
         # deadline check fires once up front (coarser than per-unit,
@@ -140,10 +160,128 @@ class ChaseBackend(Backend):
                 for t in mapping.target_tgds
                 if not t.target_relation.startswith("_tmp")
             ]
-        return {
+        outputs = {
             name: Cube.from_rows(mapping.target[name], result.instance.facts(name))
             for name in wanted
         }
+        if self.capture_deltas:
+            snapshot = DeltaSnapshot(
+                mapping, result.instance, result.functional,
+                cubes={**dict(inputs), **outputs},
+            )
+            with self._snap_lock:
+                self._snapshots[id(mapping)] = snapshot
+        return outputs
+
+    # -- incremental execution ------------------------------------------------
+    def run_mapping_delta(
+        self,
+        mapping: SchemaMapping,
+        inputs: Dict[str, Cube],
+        wanted: Optional[Iterable[str]] = None,
+        check: Optional[Callable[[], None]] = None,
+    ) -> DeltaRunResult:
+        """Re-run a mapping incrementally against its previous snapshot.
+
+        Diffs the new input cubes against the snapshot's baselines,
+        propagates the deltas through :class:`DeltaChase`, and returns
+        the full output cubes (previous versions patched in place)
+        together with per-cube changed flags.  Without a snapshot — or
+        when the mapping has no incremental semantics — this degrades
+        to a full :meth:`run_mapping`, counted as ``delta.fallback``.
+
+        A failed update poisons the snapshot (it may be half-spliced),
+        so it is dropped before the error propagates; the retrying
+        caller then lands on the full-run path, which re-captures it.
+        """
+        snapshot = self._snapshot_for(mapping)
+        if snapshot is None:
+            return self._full_run_delta(
+                mapping, inputs, wanted, check, reason="no-snapshot"
+            )
+        if check is not None:
+            check()
+        with snapshot.lock:
+            try:
+                input_deltas = input_deltas_for(mapping, snapshot, inputs)
+                chase = snapshot.chaser
+                if chase is None:
+                    chase = DeltaChase(
+                        snapshot,
+                        vectorized=self.vectorized,
+                        tracer=self.tracer,
+                        metrics=self.metrics,
+                    )
+                    snapshot.chaser = chase
+                result = chase.update(input_deltas)
+            except DeltaUnsupported as unsupported:
+                with self._snap_lock:
+                    self._snapshots.pop(id(mapping), None)
+                return self._full_run_delta(
+                    mapping, inputs, wanted, check, reason=str(unsupported)
+                )
+            except Exception:
+                with self._snap_lock:
+                    self._snapshots.pop(id(mapping), None)
+                raise
+            for tgd in mapping.st_tgds:
+                name = tgd.lhs[0].relation
+                snapshot.cubes[name] = inputs[name]
+            if wanted is None:
+                wanted = [
+                    t.target_relation
+                    for t in mapping.target_tgds
+                    if not t.target_relation.startswith("_tmp")
+                ]
+            cubes: Dict[str, Cube] = {}
+            changed: Dict[str, bool] = {}
+            for name in wanted:
+                delta = result.deltas.get(name)
+                previous = snapshot.cubes.get(name)
+                if delta is None or delta.is_empty:
+                    if previous is None:
+                        previous = Cube.from_rows(
+                            mapping.target[name], snapshot.instance.facts(name)
+                        )
+                        snapshot.cubes[name] = previous
+                    cubes[name] = previous
+                    changed[name] = False
+                    continue
+                if previous is None:
+                    cube = Cube.from_rows(
+                        mapping.target[name], snapshot.instance.facts(name)
+                    )
+                else:
+                    cube = previous.patched(delta)
+                snapshot.cubes[name] = cube
+                cubes[name] = cube
+                changed[name] = True
+        return DeltaRunResult(cubes, changed, result.stats)
+
+    def _snapshot_for(self, mapping: SchemaMapping) -> Optional[DeltaSnapshot]:
+        with self._snap_lock:
+            return self._snapshots.get(id(mapping))
+
+    def _full_run_delta(
+        self,
+        mapping: SchemaMapping,
+        inputs: Dict[str, Cube],
+        wanted: Optional[Iterable[str]],
+        check: Optional[Callable[[], None]],
+        reason: str,
+    ) -> DeltaRunResult:
+        """Full run in delta clothing: every stratum counts as a
+        fallback and every output is reported changed (the dispatcher
+        refines that by diffing against the stored versions)."""
+        cubes = self.run_mapping(mapping, inputs, wanted, check=check)
+        stats = DeltaStats()
+        stats.note_fallback(reason, count=len(mapping.target_tgds))
+        if self.metrics is not None:
+            self.metrics.inc("delta.fallback", len(mapping.target_tgds))
+            self.metrics.inc(
+                f"delta.fallback.reason:{reason}", len(mapping.target_tgds)
+            )
+        return DeltaRunResult(cubes, {name: True for name in cubes}, stats)
 
     def new_store(self, mapping: SchemaMapping) -> _ChaseStore:
         return _ChaseStore(

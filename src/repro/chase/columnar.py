@@ -746,9 +746,9 @@ def _apply_aggregation(
         emission = np.argsort(representatives, kind="stable")
 
         # reorder the value column by the stable sort once: every
-        # group's bag is then a contiguous slice, same elements in the
-        # same within-group (original row) order the scalar path
-        # accumulates
+        # group's bag is then a contiguous slice, holding the same
+        # elements the scalar path accumulates; both paths reduce the
+        # bag in canonical order (see stats.aggregates.canonical_bag)
         sorted_values = values[order].tolist()
         starts_list = starts.tolist()
         ends_list = ends.tolist()

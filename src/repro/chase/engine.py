@@ -72,6 +72,12 @@ class ChaseResult:
     #: the metrics registry the run recorded into (the chase's own
     #: per-engine registry unless the caller supplied a shared one)
     metrics: Optional[MetricsRegistry] = None
+    #: the functional (egd) index built during the run: relation ->
+    #: {dims: measure}.  May be *incomplete* for single-writer
+    #: relations inserted on the vectorized fast path (which proves key
+    #: distinctness without populating it); the delta chase snapshot
+    #: completes missing relations lazily from the instance.
+    functional: Dict[str, Dict[Tuple, Any]] = field(default_factory=dict)
 
 
 class StratifiedChase:
@@ -159,7 +165,7 @@ class StratifiedChase:
             )
         stats.waves = len(self.mapping.target_tgds)
         stats.max_wave_width = 1 if self.mapping.target_tgds else 0
-        return ChaseResult(target, stats, metrics=self.metrics)
+        return ChaseResult(target, stats, metrics=self.metrics, functional=functional)
 
     def _check_source(self, source: RelationalInstance) -> None:
         """Every copy tgd's operand must exist in the source instance.
@@ -410,6 +416,9 @@ class StratifiedChase:
         produced = 0
         self.metrics.inc("chase.egd.checks", len(groups))
         for key, bag in groups.items():
+            # fold-sensitive aggregates reduce the bag in canonical
+            # order internally (stats.aggregates.canonical_bag), so the
+            # result is independent of operand enumeration order
             fact = key + (aggregate(bag),)
             produced += self._insert(target, functional, tgd.rhs.relation, fact)
         return produced

@@ -83,6 +83,42 @@ class RelationalInstance:
                 count += 1
         return count
 
+    def remove_batch(self, relation: str, facts: Iterable[Fact]) -> int:
+        """Retract facts (missing ones are ignored); returns removals.
+
+        Retraction exists for the delta chase only: splicing a relation
+        delta into the previous solution instance retracts the old side
+        of every update before asserting the new side.
+        """
+        existing = self._relations.get(relation)
+        if existing is None:
+            return 0
+        before = len(existing)
+        existing.difference_update(facts)
+        self._columnar.pop(relation, None)
+        return before - len(existing)
+
+    def view(self, relations: Iterable[str]) -> "RelationalInstance":
+        """A shallow operand view sharing the named relations' fact sets.
+
+        The delta chase recomputes a single stratum by running its tgd
+        against a view holding (references to) the live operand
+        relations plus a fresh target relation — reads see the spliced
+        state, writes stay out of it.  Columnar images are shared too
+        (they are immutable), so a fallback recompute reuses the encode
+        cache.  Mutating a *shared* relation through the view would
+        corrupt the owner's columnar cache; views are read-only on the
+        shared relations by convention.
+        """
+        clone = RelationalInstance()
+        for name in relations:
+            if name in self._relations:
+                clone._relations[name] = self._relations[name]
+                cached = self._columnar.get(name)
+                if cached is not None:
+                    clone._columnar[name] = cached
+        return clone
+
     def facts(self, relation: str) -> Set[Fact]:
         return self._relations.get(relation, set())
 

@@ -135,8 +135,17 @@ class ChaseCache:
     cache is thread-safe: waves look entries up concurrently.
 
     ``metrics`` (optional) receives ``chase.cache.invalidations`` — one
-    per entry dropped, whether by LRU eviction or ``clear()`` — so a
-    trace of a slow incremental run shows *why* strata stopped hitting.
+    per entry dropped, whether by LRU eviction, ``clear()``, or
+    relation-level invalidation — so a trace of a slow incremental run
+    shows *why* strata stopped hitting.
+
+    Accounting invariant (pinned by ``tests/test_chase_cache.py``)::
+
+        len(cache) == puts - overwrites - invalidations
+
+    ``puts`` counts every store, ``overwrites`` the stores that replaced
+    a live entry under the same key, and ``invalidations`` every entry
+    dropped for any reason.
     """
 
     def __init__(
@@ -149,6 +158,8 @@ class ChaseCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.puts = 0
+        self.overwrites = 0
 
     def _note_invalidated(self, count: int) -> None:
         self.invalidations += count
@@ -180,6 +191,13 @@ class ChaseCache:
 
     def put(self, key: Tuple, facts: Iterable[Tuple]) -> None:
         with self._lock:
+            self.puts += 1
+            if key in self._entries:
+                # replacing a live entry: the old tuple is dropped
+                # silently by the dict store, so without this counter
+                # duplicate-key puts would leak out of the accounting
+                # (len could never be reconciled with puts/invalidations)
+                self.overwrites += 1
             self._entries[key] = tuple(facts)
             self._entries.move_to_end(key)
             evicted = 0
@@ -188,6 +206,28 @@ class ChaseCache:
                 evicted += 1
             self._note_invalidated(evicted)
 
+    def invalidate_relations(self, relations: Iterable[str]) -> int:
+        """Drop every entry whose stratum reads one of ``relations``.
+
+        Fine-grained invalidation for incremental updates: when a
+        source cube changes, only strata downstream of it lose their
+        entries; clean strata keep replaying from cache (their operand
+        content hashes still match).  Returns the entries dropped.
+        """
+        names = set(relations)
+        if not names:
+            return 0
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if any(name in names for name, _ in key[2])
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._note_invalidated(len(doomed))
+        return len(doomed)
+
     def clear(self) -> None:
         with self._lock:
             dropped = len(self._entries)
@@ -195,7 +235,8 @@ class ChaseCache:
             self._note_invalidated(dropped)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 # -- the parallel engine -----------------------------------------------------
@@ -290,7 +331,7 @@ class ParallelStratifiedChase(StratifiedChase):
             )
         stats.waves = len(self.waves)
         stats.max_wave_width = max((len(w) for w in self.waves), default=0)
-        return ChaseResult(target, stats, metrics=self.metrics)
+        return ChaseResult(target, stats, metrics=self.metrics, functional=functional)
 
     def _run_wave(
         self,

@@ -23,7 +23,10 @@ Commands:
 * ``compile`` — print the generated script for one target system;
 * ``explain`` — print the determination plan (subgraphs and targets);
 * ``run``     — execute the program, writing derived cubes as CSVs;
-* ``resume``  — finish a partially-failed ``run`` from its state file.
+* ``resume``  — finish a partially-failed ``run`` from its state file;
+* ``update``  — incremental run: diff the input CSVs against the last
+  run's persisted baseline (``<out>/baseline/``) and recompute only
+  the affected subgraphs, skipping clean ones.
 
 Fault tolerance: ``run`` accepts ``--retries`` / ``--deadline`` /
 ``--on-error fail|continue|degrade`` and a deterministic fault-injection
@@ -46,6 +49,7 @@ from typing import Any, Dict, List, Optional
 
 from .backends import all_backends
 from .engine import EXLEngine
+from .engine.history import COMMITTED_OUTCOMES
 from .errors import ReproError
 from .exl import Program
 from .mappings import generate_mapping, simplify_mapping
@@ -210,7 +214,7 @@ def _persist_state(engine, state_record: Dict[str, Any], out_dir: Path,
     committed_dir.mkdir(parents=True, exist_ok=True)
     committed: Dict[str, str] = {}
     for sub in state_record["subgraphs"]:
-        if sub["outcome"] in ("ok", "retried", "degraded"):
+        if sub["outcome"] in COMMITTED_OUTCOMES:
             for name in sub["cubes"]:
                 destination = committed_dir / f"{name}.csv"
                 write_cube_csv(engine.data(name), destination)
@@ -248,7 +252,7 @@ def _finish_run(engine, project, record, previous_state, args) -> int:
     state_path = _state_path(args, out_dir)
     unfinished = [
         s for s in state_record["subgraphs"]
-        if s["outcome"] not in ("ok", "retried", "degraded")
+        if s["outcome"] not in COMMITTED_OUTCOMES
     ]
     _write_outputs(engine, project, state_record, out_dir)
     if unfinished:
@@ -266,6 +270,117 @@ def _finish_run(engine, project, record, previous_state, args) -> int:
     if committed_dir.is_dir():
         shutil.rmtree(committed_dir)
     return 0
+
+
+def _baseline_paths(out_dir: Path):
+    baseline_dir = out_dir / "baseline"
+    return baseline_dir, baseline_dir / "baseline.json"
+
+
+def _persist_baseline(engine, record, out_dir: Path) -> None:
+    """Snapshot the finished run for a later ``exl update``.
+
+    Writes every cube with data (elementary and derived) as a CSV under
+    ``<out>/baseline/`` plus the run record; ``update`` diffs fresh
+    input CSVs against these to decide what is dirty, and re-admits the
+    derived ones so unchanged subgraphs keep their results.
+    """
+    baseline_dir, baseline_file = _baseline_paths(out_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    cubes: Dict[str, str] = {}
+    for name in engine.catalog.store.names():
+        if not engine.catalog.has_data(name):
+            continue
+        destination = baseline_dir / f"{name}.csv"
+        write_cube_csv(engine.data(name), destination)
+        cubes[name] = destination.name
+    baseline_file.write_text(
+        json.dumps({"record": record.to_json(), "cubes": cubes}, indent=2)
+        + "\n"
+    )
+
+
+def cmd_update(args) -> int:
+    project = load_project(args.project)
+    out_dir = Path(args.out)
+    baseline_dir, baseline_file = _baseline_paths(out_dir)
+    engine = _build_engine(
+        project,
+        parallel=args.parallel,
+        jobs=args.jobs,
+        chase_cache=not args.no_chase_cache,
+        vectorize=not args.no_vectorize,
+        backoff_s=args.backoff,
+    )
+    if not baseline_file.exists():
+        print(
+            f"no baseline at {baseline_file}: running in full",
+            file=sys.stderr,
+        )
+        record = engine.run(
+            retries=args.retries,
+            deadline_s=args.deadline,
+            on_error=args.on_error,
+            fault_plan=_fault_plan_from(args),
+        )
+        print(record.summary())
+        code = _finish_run(engine, project, record, None, args)
+        if code == 0:
+            _persist_baseline(engine, record, out_dir)
+        return code
+    state = json.loads(baseline_file.read_text())
+    baseline_run_id = state["record"].get("run_id")
+    if args.against is not None and args.against != baseline_run_id:
+        print(
+            f"baseline at {baseline_file} is run {baseline_run_id}, "
+            f"not {args.against}",
+            file=sys.stderr,
+        )
+        return 2
+    # which inputs actually changed: diff the freshly-loaded CSVs
+    # against the baseline snapshots (version counters mean nothing
+    # across processes, content is the only signal)
+    changed: List[str] = []
+    for name in engine.catalog.elementary_names:
+        if not engine.catalog.has_data(name):
+            continue
+        rel_path = state.get("cubes", {}).get(name)
+        if rel_path is None:
+            changed.append(name)
+            continue
+        previous = read_cube_csv(
+            engine.catalog.schema_of(name), baseline_dir / rel_path
+        )
+        if not previous.delta(engine.data(name)).is_empty:
+            changed.append(name)
+    # re-admit the baseline's derived cubes: unchanged subgraphs then
+    # keep these versions (skipped with outcome "clean") instead of
+    # being recomputed
+    for name, rel_path in state.get("cubes", {}).items():
+        if engine.catalog.is_derived(name):
+            cube = read_cube_csv(
+                engine.catalog.schema_of(name), baseline_dir / rel_path
+            )
+            engine.catalog.store.put(cube)
+    restored = engine.runs.restore(state["record"])
+    restored.baseline_versions = {
+        name: engine.catalog.store.latest_version(name)
+        for name in engine.catalog.store.names()
+        if engine.catalog.has_data(name)
+    }
+    record = engine.update(
+        changed=changed,
+        against=restored.run_id,
+        retries=args.retries,
+        deadline_s=args.deadline,
+        on_error=args.on_error,
+        fault_plan=_fault_plan_from(args),
+    )
+    print(record.summary())
+    code = _finish_run(engine, project, record, None, args)
+    if code == 0:
+        _persist_baseline(engine, record, out_dir)
+    return code
 
 
 def cmd_run(args) -> int:
@@ -317,7 +432,10 @@ def cmd_run(args) -> int:
     if args.metrics:
         print("\nmetrics:")
         print(engine.metrics.render())
-    return _finish_run(engine, project, record, None, args)
+    code = _finish_run(engine, project, record, None, args)
+    if code == 0:
+        _persist_baseline(engine, record, out_dir=Path(args.out))
+    return code
 
 
 def cmd_resume(args) -> int:
@@ -364,7 +482,10 @@ def cmd_resume(args) -> int:
     if recomputed:  # pragma: no cover - guarded by the dispatcher
         print(f"warning: recomputed already-committed cubes {recomputed}",
               file=sys.stderr)
-    return _finish_run(engine, project, record, state, args)
+    code = _finish_run(engine, project, record, state, args)
+    if code == 0:
+        _persist_baseline(engine, record, out_dir=out_dir)
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -500,6 +621,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     resume.add_argument("project")
     add_execution_flags(resume)
     resume.set_defaults(func=cmd_resume)
+
+    update = sub.add_parser(
+        "update",
+        help="incremental run: diff the input CSVs against the "
+        "persisted baseline (<out>/baseline/) and recompute only the "
+        "affected subgraphs; without a baseline, runs in full",
+    )
+    update.add_argument("project")
+    add_execution_flags(update)
+    update.add_argument(
+        "--against",
+        type=int,
+        default=None,
+        metavar="RUN_ID",
+        help="require the persisted baseline to be this run id "
+        "(defensive pin; default: accept whatever baseline is there)",
+    )
+    update.set_defaults(func=cmd_update)
 
     args = parser.parse_args(argv)
     try:

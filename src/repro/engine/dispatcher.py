@@ -39,6 +39,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..chase.delta import DeltaRunResult
 from ..errors import (
     DeadlineExceededError,
     EngineError,
@@ -86,9 +87,25 @@ class Dispatcher:
         fallback: Optional[Mapping[str, Sequence[str]]] = None,
         fault_plan: Optional[FaultPlan] = None,
         retranslate=None,
+        delta: bool = False,
+        dirty: Optional[Sequence[str]] = None,
     ):
         self.catalog = catalog
         self.graph = graph
+        #: incremental mode (EXLEngine.update): subgraphs whose inputs
+        #: all stayed clean are skipped with outcome "clean"; executed
+        #: chase subgraphs go through ``run_mapping_delta`` and their
+        #: unchanged outputs keep their stored versions (no put)
+        self.delta = delta
+        # cube names whose *content* changed this run; seeded with the
+        # dirty elementary cubes, grows as subgraphs publish changed
+        # outputs.  Guarded by the dispatcher lock.
+        self._dirty: Set[str] = set(dirty or ())
+        # per-tgd delta outcome counters, aggregated across subgraphs
+        self.delta_dirty_tgds = 0
+        self.delta_clean_tgds = 0
+        self.delta_fallback_tgds = 0
+        self.delta_fallback_reasons: Dict[str, int] = {}
         self.parallel = parallel
         self.max_workers = max_workers
         #: read *elementary* inputs at this historical version (vintage
@@ -274,6 +291,28 @@ class Dispatcher:
                 attempts=0,
                 error=f"upstream cube(s) unavailable: {', '.join(blocked)}",
             )
+        if self.delta:
+            with self._lock:
+                input_dirty = any(n in self._dirty for n in item.inputs)
+            if not input_dirty and all(
+                self.catalog.has_data(n) for n in cubes
+            ):
+                # every input is content-identical to the baseline and
+                # the previous outputs are in the store: replay them by
+                # reference instead of re-executing anything
+                versions = {
+                    n: self.catalog.store.latest_version(n) for n in cubes
+                }
+                self.metrics.inc("dispatch.clean")
+                return SubgraphRecord(
+                    cubes,
+                    item.subgraph.target,
+                    0.0,
+                    0,
+                    versions,
+                    outcome="clean",
+                    attempts=0,
+                )
 
         start = time.perf_counter()
         attempts = 0
@@ -316,16 +355,47 @@ class Dispatcher:
                 )
 
         duration = time.perf_counter() - start
+        changed_map: Optional[Dict[str, bool]] = None
+        if isinstance(outputs, DeltaRunResult):
+            self._note_delta(outputs.stats)
+            changed_map = outputs.changed
+            outputs = outputs.cubes
+        elif self.delta:
+            # a plain-output path ran under delta mode (non-chase
+            # backend, or a degraded rerun): classify each output
+            # against its stored version so cleanliness still
+            # propagates, and count the subgraph as a full fallback
+            changed_map = self._classify_against_store(cubes, outputs)
+            with self._lock:
+                count = len(item.mapping.target_tgds)
+                self.delta_fallback_tgds += count
+                self.delta_fallback_reasons["non-incremental-backend"] = (
+                    self.delta_fallback_reasons.get("non-incremental-backend", 0)
+                    + count
+                )
         # stage every output cube first, then commit all of them under
-        # the lock: the store never sees a partially-written subgraph
+        # the lock: the store never sees a partially-written subgraph.
+        # In delta mode an output whose content did not change keeps its
+        # stored version — no put, so version history stays stable and
+        # downstream subgraphs see it as clean
         staged = [(name, outputs[name]) for name in cubes]
         versions: Dict[str, int] = {}
         tuples = 0
         with self._lock:
             for name, cube in staged:
-                versions[name] = self.catalog.store.put(cube)
+                unchanged = (
+                    changed_map is not None
+                    and not changed_map.get(name, True)
+                    and self.catalog.has_data(name)
+                )
+                if unchanged:
+                    versions[name] = self.catalog.store.latest_version(name)
+                else:
+                    versions[name] = self.catalog.store.put(cube)
+                    tuples += len(cube)
+                    if self.delta:
+                        self._dirty.add(name)
                 self._computed_this_run.add(name)
-                tuples += len(cube)
         self.metrics.observe("dispatch.subgraph.duration_s", duration)
         return SubgraphRecord(
             cubes,
@@ -338,6 +408,32 @@ class Dispatcher:
             error=recovered_error,
             executed_target=executed_target,
         )
+
+    def _note_delta(self, stats) -> None:
+        """Fold one subgraph's delta statistics into the run totals."""
+        with self._lock:
+            self.delta_dirty_tgds += stats.dirty_tgds
+            self.delta_clean_tgds += stats.clean_tgds
+            self.delta_fallback_tgds += stats.fallback_tgds
+            for reason, count in stats.fallback_reasons.items():
+                self.delta_fallback_reasons[reason] = (
+                    self.delta_fallback_reasons.get(reason, 0) + count
+                )
+
+    def _classify_against_store(
+        self, cubes: Tuple[str, ...], outputs: Dict[str, Cube]
+    ) -> Dict[str, bool]:
+        """Changed flags for outputs of a non-incremental execution,
+        by diffing against the latest stored version (NaN-consistent,
+        so a bit-identical recompute registers as clean)."""
+        changed: Dict[str, bool] = {}
+        for name in cubes:
+            if not self.catalog.has_data(name):
+                changed[name] = True
+                continue
+            previous = self.catalog.data(name)
+            changed[name] = not previous.delta(outputs[name]).is_empty
+        return changed
 
     # -- retry / degradation machinery ---------------------------------------
     def _attempt_with_retries(
@@ -441,6 +537,10 @@ class Dispatcher:
             if self.fault_plan is not None:
                 self.fault_plan.apply(
                     target, cubes, attempt, metrics=self.metrics
+                )
+            if self.delta and hasattr(item.backend, "run_mapping_delta"):
+                return item.backend.run_mapping_delta(
+                    item.mapping, inputs, wanted=list(cubes), check=check
                 )
             return item.backend.run_mapping(
                 item.mapping, inputs, wanted=list(cubes), check=check

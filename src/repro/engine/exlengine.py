@@ -96,6 +96,10 @@ class EXLEngine:
             chase_backend.vectorized = vectorize
             chase_backend.tracer = self.tracer
             chase_backend.metrics = self.metrics
+            # keep per-mapping solution snapshots (references only) so
+            # update() can propagate tuple-level deltas instead of
+            # re-running unchanged strata
+            chase_backend.capture_deltas = True
         self.catalog = MetadataCatalog()
         self.runs = RunLog()
         self._graph: Optional[DependencyGraph] = None
@@ -244,6 +248,117 @@ class EXLEngine:
         self._loaded_since_last_run = []
         return record
 
+    def update(
+        self,
+        changed: Optional[Iterable[str]] = None,
+        against: Optional[int] = None,
+        retries: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        on_error: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> RunRecord:
+        """Incremental run: recompute only what changed since a baseline.
+
+        Picks a baseline run (``against``, or the most recent finished
+        run), determines which elementary cubes are *dirty* — their
+        stored version moved past the baseline's **and** their content
+        actually differs (a reload of identical data stays clean) — and
+        dispatches only the affected subgraphs in delta mode: the chase
+        backend propagates tuple-level deltas from its solution
+        snapshots, unchanged outputs keep their stored versions, and
+        subgraphs whose inputs all stayed clean are skipped with
+        outcome ``clean``.  The final store state is tuple-for-tuple
+        identical to a full :meth:`run` on the same data.
+
+        Args:
+            changed: elementary cubes to treat as dirty, bypassing the
+                version/content check (an actually-unchanged name is
+                harmless: its delta is empty and everything downstream
+                comes out clean).  Defaults to auto-detection against
+                the baseline.
+            against: run id of the baseline; defaults to the last
+                finished run.  Without any usable baseline, update()
+                degrades to a full :meth:`run`.
+        """
+        if against is not None:
+            baseline = self.runs.get(against)
+            if baseline is None:
+                raise EngineError(f"unknown run id {against}")
+            if not baseline.baseline_versions:
+                raise EngineError(
+                    f"run {against} recorded no baseline versions to "
+                    f"update against"
+                )
+        else:
+            candidates = [
+                r for r in self.runs.runs
+                if r.finished and r.baseline_versions
+            ]
+            baseline = candidates[-1] if candidates else None
+            if baseline is None:
+                return self.run(
+                    changed=changed, retries=retries, deadline_s=deadline_s,
+                    on_error=on_error, fault_plan=fault_plan,
+                )
+        if changed is not None:
+            dirty = list(dict.fromkeys(changed))
+        else:
+            dirty = []
+            for name in self.catalog.elementary_names:
+                if not self.catalog.has_data(name):
+                    continue
+                base_version = baseline.baseline_versions.get(name)
+                if base_version == self.catalog.store.latest_version(name):
+                    continue
+                if base_version is not None:
+                    previous = self.catalog.data(name, base_version)
+                    if previous.delta(self.catalog.data(name)).is_empty:
+                        continue
+                dirty.append(name)
+
+        with self.tracer.span(
+            "update", category="engine", trigger=list(dirty),
+            baseline=baseline.run_id,
+        ) as run_span:
+            t0 = time.perf_counter()
+            with self.tracer.span("determination", category="engine"):
+                affected = self.graph.affected_by(dirty) if dirty else []
+                subgraphs = (
+                    self.graph.partition(affected, self.target_priority)
+                    if affected
+                    else []
+                )
+            determination_s = time.perf_counter() - t0
+            t1 = time.perf_counter()
+            with self.tracer.span("translation", category="engine"):
+                translated = self.translator.translate_all(subgraphs)
+            translation_s = time.perf_counter() - t1
+            record = self.runs.open(dirty, affected)
+            record.delta_of = baseline.run_id
+            run_span.note(run_id=record.run_id)
+            record.determination_s = determination_s
+            record.translation_s = translation_s
+            self.metrics.inc("engine.updates")
+            if self.chase_cache is not None and dirty:
+                # cache entries keyed over stale operand content can
+                # never hit again; drop them so the counters (and the
+                # cache's memory) reflect reality
+                self.chase_cache.invalidate_relations(
+                    set(dirty) | set(affected)
+                )
+            self._dispatch(
+                translated,
+                record,
+                retries=self.retries if retries is None else retries,
+                deadline_s=self.deadline_s if deadline_s is None else deadline_s,
+                on_error=self.on_error if on_error is None else on_error,
+                fault_plan=self.fault_plan if fault_plan is None else fault_plan,
+                delta=True,
+                dirty=dirty,
+            )
+        self._loaded_since_last_run = []
+        return record
+
     def resume(
         self,
         run_id: Optional[int] = None,
@@ -310,8 +425,10 @@ class EXLEngine:
         deadline_s: Optional[float] = None,
         on_error: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
+        delta: bool = False,
+        dirty: Optional[Iterable[str]] = None,
     ) -> RunRecord:
-        """Dispatch + record bookkeeping shared by run() and resume()."""
+        """Dispatch + record bookkeeping shared by run/resume/update."""
         chase_backend = self.backends.get("chase")
         count_kernels = isinstance(chase_backend, ChaseBackend)
         if count_kernels:
@@ -334,6 +451,8 @@ class EXLEngine:
             fallback=self.fallback,
             fault_plan=fault_plan,
             retranslate=self.translator.for_target,
+            delta=delta,
+            dirty=dirty,
         )
         t2 = time.perf_counter()
         try:
@@ -344,9 +463,14 @@ class EXLEngine:
             # history stay meaningful, then let the error propagate
             record.error = f"{type(exc).__name__}: {exc}"
             self.metrics.inc("engine.runs.failed")
+            self._record_baselines(record)
             self.runs.close(record)
             raise
         self.metrics.observe("engine.dispatch_s", time.perf_counter() - t2)
+        if delta:
+            record.delta_dirty_tgds = dispatcher.delta_dirty_tgds
+            record.delta_clean_tgds = dispatcher.delta_clean_tgds
+            record.delta_fallback_tgds = dispatcher.delta_fallback_tgds
         if count_kernels:
             record.vectorized_tgds = (
                 chase_backend.vectorized_tgds - kernels_before[0]
@@ -361,8 +485,19 @@ class EXLEngine:
                 f"failed, {counts.get('skipped', 0)} skipped"
             )
             self.metrics.inc("engine.runs.partial")
+        self._record_baselines(record)
         self.runs.close(record)
         return record
+
+    def _record_baselines(self, record: RunRecord) -> None:
+        """Pin the store versions this run left behind, so a later
+        ``update`` can diff current data against them to find dirt."""
+        store = self.catalog.store
+        record.baseline_versions = {
+            name: store.latest_version(name)
+            for name in store.names()
+            if self.catalog.has_data(name)
+        }
 
     # -- inspection ---------------------------------------------------------------
     def plan(self, changed: Optional[Iterable[str]] = None) -> List[Subgraph]:

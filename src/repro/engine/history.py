@@ -12,6 +12,9 @@ even when the run goes wrong: the per-subgraph ``outcome`` is one of
 * ``retried``  — committed after one or more transient-failure retries;
 * ``degraded`` — its native backend failed permanently, a fallback
   backend (``executed_target``) recomputed and committed it;
+* ``clean``    — an incremental update (``EXLEngine.update``) proved
+  every input unchanged, so the stored versions were re-published
+  without executing anything;
 * ``skipped``  — never executed because an upstream subgraph failed;
 * ``failed``   — all attempts (and fallbacks, if any) failed.
 
@@ -31,8 +34,10 @@ __all__ = ["SubgraphRecord", "RunRecord", "RunLog", "COMMITTED_OUTCOMES"]
 
 _run_counter = itertools.count(1)
 
-#: outcomes under which a subgraph's cubes were written to the store
-COMMITTED_OUTCOMES = ("ok", "retried", "degraded")
+#: outcomes under which a subgraph's cubes are available in the store
+#: ("clean" means an incremental update proved the stored versions are
+#: still current and re-published them without executing anything)
+COMMITTED_OUTCOMES = ("ok", "retried", "degraded", "clean")
 
 
 @dataclass
@@ -44,7 +49,7 @@ class SubgraphRecord:
     duration_s: float
     tuples_written: int
     versions: Dict[str, int] = field(default_factory=dict)
-    #: ok | retried | degraded | skipped | failed
+    #: ok | retried | degraded | clean | skipped | failed
     outcome: str = "ok"
     #: execution attempts across native backend and fallbacks (0 if skipped)
     attempts: int = 1
@@ -115,6 +120,17 @@ class RunRecord:
     on_error: str = "fail"
     # run id this run resumed, when it was started by EXLEngine.resume
     resumed_from: Optional[int] = None
+    # run id this run incrementally updated, when it was started by
+    # EXLEngine.update (the baseline whose versions defined dirtiness)
+    delta_of: Optional[int] = None
+    # store versions of every cube with data when this run closed; a
+    # later update() diffs against these to decide what is dirty
+    baseline_versions: Dict[str, int] = field(default_factory=dict)
+    # incremental-update outcome per target tgd (all zero on full runs):
+    # re-fired with delta rules / skipped clean / recomputed in full
+    delta_dirty_tgds: int = 0
+    delta_clean_tgds: int = 0
+    delta_fallback_tgds: int = 0
     # failure state: set when the run raised during dispatch, or — under
     # on_error != "fail" — when any subgraph finished failed/skipped
     error: Optional[str] = None
@@ -170,6 +186,11 @@ class RunRecord:
             "max_wave_width": self.max_wave_width,
             "on_error": self.on_error,
             "resumed_from": self.resumed_from,
+            "delta_of": self.delta_of,
+            "baseline_versions": dict(self.baseline_versions),
+            "delta_dirty_tgds": self.delta_dirty_tgds,
+            "delta_clean_tgds": self.delta_clean_tgds,
+            "delta_fallback_tgds": self.delta_fallback_tgds,
             "error": self.error,
         }
 
@@ -184,6 +205,12 @@ class RunRecord:
             if self.resumed_from is not None
             else ""
         )
+        if self.delta_of is not None:
+            resumed += (
+                f" update-of={self.delta_of} (tgds: {self.delta_dirty_tgds} "
+                f"dirty / {self.delta_clean_tgds} clean / "
+                f"{self.delta_fallback_tgds} fallback)"
+            )
         lines = [
             f"run {self.run_id}{state}{resumed}: trigger={list(self.trigger)} "
             f"affected={len(self.affected)} cubes in {len(self.subgraphs)} "
@@ -247,6 +274,11 @@ class RunLog:
         record.max_wave_width = data.get("max_wave_width", 0)
         record.on_error = data.get("on_error", "fail")
         record.resumed_from = data.get("resumed_from")
+        record.delta_of = data.get("delta_of")
+        record.baseline_versions = dict(data.get("baseline_versions", {}))
+        record.delta_dirty_tgds = data.get("delta_dirty_tgds", 0)
+        record.delta_clean_tgds = data.get("delta_clean_tgds", 0)
+        record.delta_fallback_tgds = data.get("delta_fallback_tgds", 0)
         record.error = data.get("error")
         return self.close(record)
 

@@ -7,7 +7,7 @@ catalog with historicity described in Section 6.
 """
 
 from .catalog import CubeEntry, MetadataCatalog, VersionedStore
-from .cube import Cube, CubeSchema, Dimension
+from .cube import Cube, CubeDelta, CubeSchema, Dimension
 from .schema import Schema
 from .time import (
     Frequency,
@@ -24,6 +24,7 @@ from .types import INTEGER, STRING, TIME, DimKind, DimType, validate_value
 
 __all__ = [
     "Cube",
+    "CubeDelta",
     "CubeSchema",
     "Dimension",
     "Schema",

@@ -18,9 +18,62 @@ from ..errors import CubeError, SchemaError
 from .time import TimePoint
 from .types import DimType, validate_value
 
-__all__ = ["Dimension", "CubeSchema", "Cube"]
+__all__ = ["Dimension", "CubeSchema", "Cube", "CubeDelta"]
 
 DimTuple = Tuple[Any, ...]
+
+_MISSING = object()
+
+
+def _same_measure(a: float, b: float) -> bool:
+    """Exact measure equality with NaN treated as equal to itself.
+
+    ``float('nan') != float('nan')`` would make every NaN measure look
+    permanently changed, so source diffing would emit phantom deltas on
+    each update cycle.  NaN↔NaN is "unchanged"; NaN↔value is a delta.
+    """
+    return a == b or (a != a and b != b)
+
+
+def _close(a: float, b: float, rel_tol: float, abs_tol: float) -> bool:
+    """``math.isclose`` with the same NaN↔NaN-is-equal convention."""
+    if a != a or b != b:
+        return a != a and b != b
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+@dataclass
+class CubeDelta:
+    """A structured diff between two extensions of one cube.
+
+    Rows are relational tuples ``(x1, …, xn, y)``.  ``updated`` pairs
+    the baseline row with the revised row for dimension tuples present
+    on both sides whose measures differ (NaN-consistently: see
+    :func:`_same_measure`).  This is the unit the delta-stratified
+    chase propagates.
+    """
+
+    inserted: List[Tuple[Any, ...]] = field(default_factory=list)
+    deleted: List[Tuple[Any, ...]] = field(default_factory=list)
+    updated: List[Tuple[Tuple[Any, ...], Tuple[Any, ...]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.inserted or self.deleted or self.updated)
+
+    def count(self) -> int:
+        """Number of changed rows."""
+        return len(self.inserted) + len(self.deleted) + len(self.updated)
+
+    def old_facts(self) -> List[Tuple[Any, ...]]:
+        """Rows to retract: deleted rows plus the old side of updates."""
+        return self.deleted + [old for old, _ in self.updated]
+
+    def new_facts(self) -> List[Tuple[Any, ...]]:
+        """Rows to assert: inserted rows plus the new side of updates."""
+        return self.inserted + [new for _, new in self.updated]
 
 
 @dataclass(frozen=True)
@@ -231,11 +284,15 @@ class Cube:
 
     # -- comparison ---------------------------------------------------------
     def approx_equals(self, other: "Cube", rel_tol: float = 1e-9, abs_tol: float = 1e-9) -> bool:
-        """Same dimension tuples and numerically close measures."""
+        """Same dimension tuples and numerically close measures.
+
+        NaN measures compare equal to NaN (and unequal to everything
+        else), so a cube is always approx-equal to itself.
+        """
         if set(self._data) != set(other._data):
             return False
         return all(
-            math.isclose(value, other._data[key], rel_tol=rel_tol, abs_tol=abs_tol)
+            _close(value, other._data[key], rel_tol, abs_tol)
             for key, value in self._data.items()
         )
 
@@ -246,11 +303,54 @@ class Cube:
             problems.append(f"only in left: {key!r} -> {self._data[key]}")
         for key in sorted(set(other._data) - set(self._data), key=_sort_key):
             problems.append(f"only in right: {key!r} -> {other._data[key]}")
-        for key in self._data.keys() & other._data.keys():
+        for key in sorted(self._data.keys() & other._data.keys(), key=_sort_key):
             left, right = self._data[key], other._data[key]
-            if not math.isclose(left, right, rel_tol=rel_tol, abs_tol=abs_tol):
+            if not _close(left, right, rel_tol, abs_tol):
                 problems.append(f"measure differs on {key!r}: {left} vs {right}")
         return problems
+
+    def delta(self, other: "Cube") -> CubeDelta:
+        """The structured row delta turning ``self`` into ``other``.
+
+        Measures compare *exactly* (delta propagation must recompute on
+        any representable change), except NaN↔NaN which is unchanged.
+        Both cubes must share dimensionality; they are normally two
+        versions of the same cube.
+        """
+        if self.schema.arity != other.schema.arity:
+            raise CubeError(
+                f"cannot delta {self.schema.name} (arity {self.schema.arity}) "
+                f"against {other.schema.name} (arity {other.schema.arity})"
+            )
+        out = CubeDelta()
+        mine, theirs = self._data, other._data
+        for key, new in theirs.items():
+            old = mine.get(key, _MISSING)
+            if old is _MISSING:
+                out.inserted.append(key + (new,))
+            elif not _same_measure(old, new):
+                out.updated.append((key + (old,), key + (new,)))
+        for key, old in mine.items():
+            if key not in theirs:
+                out.deleted.append(key + (old,))
+        return out
+
+    def patched(self, delta: CubeDelta) -> "Cube":
+        """A copy of this cube with ``delta`` applied.
+
+        The inverse of :meth:`delta`: ``a.patched(a.delta(b)) == b``.
+        Used by the incremental engine to produce a revised output cube
+        from the previous version plus the chase's relation delta,
+        without rebuilding (and re-validating) every unchanged row.
+        """
+        clone = self.copy()
+        for row in delta.deleted:
+            clone._data.pop(row[:-1], None)
+        for _, new in delta.updated:
+            clone.set(new[:-1], new[-1], overwrite=True)
+        for row in delta.inserted:
+            clone.set(row[:-1], row[-1], overwrite=True)
+        return clone
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Cube):

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Sequence
 
 from ..errors import StatsError
 
-__all__ = ["AGGREGATES", "get_aggregate", "aggregate_names"]
+__all__ = ["AGGREGATES", "get_aggregate", "aggregate_names", "canonical_bag"]
 
 
 def _require_nonempty(values: Sequence[float], name: str) -> None:
@@ -23,16 +23,31 @@ def _require_nonempty(values: Sequence[float], name: str) -> None:
         raise StatsError(f"aggregate {name}() applied to an empty bag")
 
 
+def canonical_bag(values: Sequence[float]) -> List[float]:
+    """The bag in canonical (ascending numeric) order.
+
+    Every registered aggregate is a function of the value *multiset*,
+    but the float results of the fold-based ones (sum, avg, var,
+    product, geomean) depend on fold order.  Those implementations
+    reduce the bag in this canonical order, which makes every
+    executor's aggregation results independent of operand enumeration
+    order — and is what lets an incremental recomputation of a single
+    group reproduce a full rerun bit for bit.  NaNs sort first, stably
+    among themselves.
+    """
+    return sorted(values, key=lambda v: (v == v, v if v == v else 0.0))
+
+
 def agg_sum(values: Sequence[float]) -> float:
     """Sum of the bag; the paper's tgd (3) aggregation."""
     _require_nonempty(values, "sum")
-    return float(sum(values))
+    return float(sum(canonical_bag(values)))
 
 
 def agg_avg(values: Sequence[float]) -> float:
     """Arithmetic mean; used in tgd (1) for the quarterly population."""
     _require_nonempty(values, "avg")
-    return float(sum(values)) / len(values)
+    return float(sum(canonical_bag(values))) / len(values)
 
 
 def agg_min(values: Sequence[float]) -> float:
@@ -64,7 +79,7 @@ def agg_var(values: Sequence[float]) -> float:
     """Population variance (denominator n)."""
     _require_nonempty(values, "var")
     mean = agg_avg(values)
-    return sum((v - mean) ** 2 for v in values) / len(values)
+    return sum((v - mean) ** 2 for v in canonical_bag(values)) / len(values)
 
 
 def agg_stddev(values: Sequence[float]) -> float:
@@ -75,7 +90,7 @@ def agg_stddev(values: Sequence[float]) -> float:
 def agg_product(values: Sequence[float]) -> float:
     _require_nonempty(values, "product")
     result = 1.0
-    for v in values:
+    for v in canonical_bag(values):
         result *= v
     return result
 
@@ -91,7 +106,7 @@ def agg_geomean(values: Sequence[float]) -> float:
     _require_nonempty(values, "geomean")
     if any(v <= 0 for v in values):
         raise StatsError("geomean requires strictly positive values")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    return math.exp(sum(math.log(v) for v in canonical_bag(values)) / len(values))
 
 
 AGGREGATES: Dict[str, Callable[[Sequence[float]], float]] = {

@@ -249,3 +249,84 @@ class TestEngineIntegration:
         assert engine.chase_cache is None
         engine.run()
         assert set(engine.data("A").to_rows())
+
+
+class TestAccountingReconciliation:
+    """The counter invariant under arbitrary operation interleavings.
+
+    Regression: ``put`` used to count neither stores nor same-key
+    replacements, so after any overwrite the live entry count could not
+    be reconciled with the counters — a slow leak in the accounting
+    that only showed once incremental updates started re-putting
+    recomputed strata under recurring keys.  The invariant is::
+
+        len(cache) == puts - overwrites - invalidations
+    """
+
+    @staticmethod
+    def _reconciles(cache):
+        return len(cache) == cache.puts - cache.overwrites - cache.invalidations
+
+    def test_overwrite_same_key_is_counted(self):
+        cache = ChaseCache()
+        key = ("A", "tgd-text", (("S", 123),))
+        cache.put(key, ((1, 2.0),))
+        cache.put(key, ((1, 3.0),))
+        assert len(cache) == 1
+        assert cache.puts == 2
+        assert cache.overwrites == 1
+        assert self._reconciles(cache)
+
+    def test_eviction_counts_as_invalidation(self):
+        cache = ChaseCache(max_entries=3)
+        for i in range(10):
+            cache.put((f"k{i}", "t", (("S", i),)), ())
+        assert len(cache) == 3
+        assert cache.puts == 10
+        assert cache.invalidations == 7
+        assert self._reconciles(cache)
+
+    def test_hammer_random_operation_storm(self):
+        """Random puts / overwrites / relation invalidations / clears /
+        evictions must never desynchronize the counters."""
+        import random as _random
+
+        rng = _random.Random(1234)
+        cache = ChaseCache(max_entries=16)
+        relations = [f"R{i}" for i in range(6)]
+        for step in range(2000):
+            roll = rng.random()
+            if roll < 0.70:
+                label = f"tgd{rng.randrange(24)}"
+                operands = tuple(
+                    sorted(
+                        (name, rng.randrange(4))
+                        for name in rng.sample(relations, rng.randrange(1, 4))
+                    )
+                )
+                cache.put((label, label, operands), ((step, float(step)),))
+            elif roll < 0.90:
+                doomed = rng.sample(relations, rng.randrange(1, 3))
+                cache.invalidate_relations(doomed)
+            elif roll < 0.97:
+                cache.get((f"tgd{rng.randrange(24)}",) * 2 + ((("R0", 0),),))
+            else:
+                cache.clear()
+            assert self._reconciles(cache), f"desync at step {step}"
+        assert cache.puts > 0 and cache.overwrites > 0
+        assert cache.invalidations > 0
+
+    def test_counters_reconcile_through_engine_updates(self):
+        """End-to-end: repeated incremental runs through the scheduler
+        keep the cache's books balanced."""
+        schema, mapping, domains, data = _two_source_setup()
+        cache = ChaseCache(max_entries=4)
+        chase = StratifiedChase(mapping, cache=cache)
+        for seed in range(6):
+            revised = dict(data)
+            revised["T"] = random_cube(schema["T"], domains, seed=seed)
+            chase.run(instance_from_cubes(revised))
+            assert TestAccountingReconciliation._reconciles(cache)
+        cache.invalidate_relations(["S", "T"])
+        assert TestAccountingReconciliation._reconciles(cache)
+        assert len(cache) == 0

@@ -263,3 +263,113 @@ class TestApproxToleranceEdges:
         assert a.diff(b) == []  # inside default tolerances
         tight = a.diff(b, rel_tol=1e-12, abs_tol=1e-12)
         assert len(tight) == 1 and "measure differs" in tight[0]
+
+
+class TestNanConsistency:
+    """NaN measures under comparison and diffing.
+
+    ``float('nan') != float('nan')`` would make every NaN-bearing cube
+    unequal to itself, so each update cycle would see phantom deltas on
+    statistically-missing points.  The convention everywhere (equality,
+    diff, delta) is: NaN↔NaN is unchanged, NaN↔value is a change.
+    """
+
+    def _with(self, panel_schema, value):
+        cube = Cube(panel_schema)
+        cube.set((quarter(2020, 1), "north"), value)
+        return cube
+
+    def test_nan_cube_approx_equals_itself(self, panel_schema):
+        nan = self._with(panel_schema, float("nan"))
+        assert nan.approx_equals(nan)
+        assert nan.approx_equals(nan.copy())
+        assert nan.diff(nan.copy()) == []
+
+    def test_nan_vs_value_is_a_difference(self, panel_schema):
+        nan = self._with(panel_schema, float("nan"))
+        one = self._with(panel_schema, 1.0)
+        assert not nan.approx_equals(one)
+        assert not one.approx_equals(nan)
+        assert any("measure differs" in p for p in nan.diff(one))
+
+    def test_nan_delta_is_empty_between_identical_cubes(self, panel_schema):
+        nan = self._with(panel_schema, float("nan"))
+        assert nan.delta(nan.copy()).is_empty
+
+    def test_nan_to_value_delta_is_an_update(self, panel_schema):
+        nan = self._with(panel_schema, float("nan"))
+        one = self._with(panel_schema, 1.0)
+        delta = nan.delta(one)
+        assert len(delta.updated) == 1 and not delta.inserted
+        delta = one.delta(nan)
+        assert len(delta.updated) == 1
+        new = delta.updated[0][1]
+        assert new[-1] != new[-1]  # the new side carries the NaN
+
+
+class TestCubeDelta:
+    def _pair(self, panel_schema):
+        a = Cube(panel_schema)
+        a.set((quarter(2020, 1), "north"), 1.0)
+        a.set((quarter(2020, 1), "south"), 2.0)
+        a.set((quarter(2020, 2), "north"), 3.0)
+        b = Cube(panel_schema)
+        b.set((quarter(2020, 1), "north"), 1.0)   # unchanged
+        b.set((quarter(2020, 1), "south"), 9.0)   # updated
+        b.set((quarter(2020, 3), "south"), 4.0)   # inserted (2020Q2 deleted)
+        return a, b
+
+    def test_delta_classifies_rows(self, panel_schema):
+        a, b = self._pair(panel_schema)
+        delta = a.delta(b)
+        assert delta.inserted == [(quarter(2020, 3), "south", 4.0)]
+        assert delta.deleted == [(quarter(2020, 2), "north", 3.0)]
+        assert delta.updated == [
+            ((quarter(2020, 1), "south", 2.0), (quarter(2020, 1), "south", 9.0))
+        ]
+        assert delta.count() == 3 and not delta.is_empty
+
+    def test_delta_of_identical_cubes_is_empty(self, panel_schema):
+        a, _ = self._pair(panel_schema)
+        assert a.delta(a.copy()).is_empty
+        assert a.delta(a.copy()).count() == 0
+
+    def test_delta_is_exact_not_tolerant(self, panel_schema):
+        # delta feeds recomputation: any representable change counts,
+        # there is no tolerance window like approx_equals has
+        a = Cube(panel_schema)
+        a.set((quarter(2020, 1), "north"), 1.0)
+        b = Cube(panel_schema)
+        b.set((quarter(2020, 1), "north"), 1.0 + 1e-15)
+        assert not a.delta(b).is_empty
+
+    def test_old_and_new_fact_views(self, panel_schema):
+        a, b = self._pair(panel_schema)
+        delta = a.delta(b)
+        assert (quarter(2020, 2), "north", 3.0) in delta.old_facts()
+        assert (quarter(2020, 1), "south", 2.0) in delta.old_facts()
+        assert (quarter(2020, 3), "south", 4.0) in delta.new_facts()
+        assert (quarter(2020, 1), "south", 9.0) in delta.new_facts()
+
+    def test_patched_inverts_delta(self, panel_schema):
+        a, b = self._pair(panel_schema)
+        patched = a.patched(a.delta(b))
+        assert patched.delta(b).is_empty
+        assert b.delta(patched).is_empty
+        # and the original is untouched
+        assert a[(quarter(2020, 1), "south")] == 2.0
+
+    def test_patched_roundtrip_with_nan(self, panel_schema):
+        a = Cube(panel_schema)
+        a.set((quarter(2020, 1), "north"), float("nan"))
+        a.set((quarter(2020, 2), "north"), 1.0)
+        b = Cube(panel_schema)
+        b.set((quarter(2020, 1), "north"), 2.0)
+        b.set((quarter(2020, 2), "north"), float("nan"))
+        assert a.patched(a.delta(b)).delta(b).is_empty
+
+    def test_arity_mismatch_rejected(self, panel_schema, ts_schema):
+        a = Cube(panel_schema)
+        b = Cube(ts_schema)
+        with pytest.raises(CubeError):
+            a.delta(b)

@@ -211,3 +211,90 @@ class TestCli:
         code = main(["show", str(path)])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestCliUpdate:
+    """``exl update``: baseline persistence and incremental reruns."""
+
+    def _run(self, project_dir, out_dir):
+        return main(
+            ["run", str(project_dir / "project.json"), "--out", str(out_dir)]
+        )
+
+    def test_run_persists_a_baseline(self, project_dir, capsys):
+        out_dir = project_dir / "results"
+        assert self._run(project_dir, out_dir) == 0
+        baseline = out_dir / "baseline"
+        assert (baseline / "baseline.json").exists()
+        state = json.loads((baseline / "baseline.json").read_text())
+        assert set(state["cubes"]) == {"S", "A", "B"}
+        assert (baseline / "S.csv").exists()
+        assert state["record"]["baseline_versions"]
+
+    def test_update_without_baseline_runs_full(self, project_dir, capsys):
+        out_dir = project_dir / "results"
+        code = main(
+            ["update", str(project_dir / "project.json"), "--out", str(out_dir)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "no baseline" in err
+        assert (out_dir / "B.csv").exists()
+        assert (out_dir / "baseline" / "baseline.json").exists()
+
+    def test_noop_update_recomputes_nothing(self, project_dir, capsys):
+        out_dir = project_dir / "results"
+        assert self._run(project_dir, out_dir) == 0
+        code = main(
+            ["update", str(project_dir / "project.json"), "--out", str(out_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "update-of" in out
+        assert "affected=0 cubes in 0 subgraphs" in out
+
+    def test_update_after_input_edit_matches_full_run(self, project_dir, capsys):
+        out_dir = project_dir / "results"
+        assert self._run(project_dir, out_dir) == 0
+        # revise one input point and update incrementally
+        schema = CubeSchema(
+            "S", [Dimension("q", TIME(Frequency.QUARTER))], "v"
+        )
+        cube = Cube.from_series(
+            schema, quarter(2020, 1), [1.0, 2.0, 10.0, 4.0]
+        )
+        write_cube_csv(cube, project_dir / "s.csv")
+        code = main(
+            ["update", str(project_dir / "project.json"), "--out", str(out_dir)]
+        )
+        assert code == 0
+        # B = cumsum(2 * S) over the revised series
+        written = (out_dir / "B.csv").read_text().splitlines()
+        assert [float(line.split(",")[1]) for line in written[1:]] == [
+            2.0,
+            6.0,
+            26.0,
+            34.0,
+        ]
+        # the persisted baseline rolled forward to the revised state
+        full_dir = project_dir / "full"
+        assert self._run(project_dir, full_dir) == 0
+        assert (out_dir / "B.csv").read_text() == (
+            full_dir / "B.csv"
+        ).read_text()
+
+    def test_update_against_wrong_run_id(self, project_dir, capsys):
+        out_dir = project_dir / "results"
+        assert self._run(project_dir, out_dir) == 0
+        code = main(
+            [
+                "update",
+                str(project_dir / "project.json"),
+                "--out",
+                str(out_dir),
+                "--against",
+                "999",
+            ]
+        )
+        assert code == 2
+        assert "is run" in capsys.readouterr().err
