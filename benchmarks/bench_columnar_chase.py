@@ -14,6 +14,12 @@ Both configurations must produce the identical solution instance —
 the kernels are a pure executor swap (the property the randomized
 suite in ``tests/test_columnar_chase.py`` pins tuple for tuple).
 
+Since the columnar-native storage layer (DESIGN.md §9) the encode
+phase no longer appears in the kernel-phase breakdown at all: relations
+live as dictionary-encoded columns inside the instance, so the kernels
+read images straight off the stores instead of re-encoding fact sets
+(``bench_columnar_native.py`` gates that claim with a floor).
+
 The timings are written as JSON (``COLUMNAR_BENCH_JSON``, default
 ``benchmarks/results/bench_columnar_chase_results.json``) so CI can
 publish them as a
@@ -153,6 +159,10 @@ def _measure(name, source_text, floor, report=None):
     scalar_s = _wall(lambda: scalar_chase.run(source))
     vector_s = _wall(lambda: vector_chase.run(source))
     speedup = scalar_s / vector_s
+    kernel_phase_ms = _kernel_phase_ms(mapping, source)
+    # columnar-native storage: no relation lives as a tuple set, so the
+    # traced run must show zero encode work in the phase breakdown
+    assert "encode" not in kernel_phase_ms, kernel_phase_ms
     _results[name] = {
         "rows": rows,
         "tuples_generated": scalar.stats.tuples_generated,
@@ -160,7 +170,7 @@ def _measure(name, source_text, floor, report=None):
         "vectorized_s": round(vector_s, 4),
         "speedup": round(speedup, 2),
         "floor": floor,
-        "kernel_phase_ms": _kernel_phase_ms(mapping, source),
+        "kernel_phase_ms": kernel_phase_ms,
     }
     if report is not None:
         report.record("columnar_chase", name, _results[name])

@@ -20,7 +20,7 @@ from ..chase.delta import (
     input_deltas_for,
 )
 from ..chase.engine import StratifiedChase
-from ..chase.instance import RelationalInstance
+from ..chase.instance import RelationalInstance, store_for_cube
 from ..chase.scheduler import ChaseCache, ParallelStratifiedChase
 from ..errors import BackendError
 from ..mappings.dependencies import Tgd
@@ -133,6 +133,11 @@ class ChaseBackend(Backend):
             if name not in inputs:
                 raise BackendError(f"missing input cube {name!r}")
             source.ensure(name)
+            # adopt the cube's cached columnar store when it has one
+            # (warm runs: zero re-encode of unchanged inputs)
+            store = store_for_cube(inputs[name])
+            if store is not None and source.adopt(name, store) is not None:
+                continue
             source.add_all(name, inputs[name].to_rows())
         if self.parallel:
             chase = ParallelStratifiedChase(
@@ -160,10 +165,19 @@ class ChaseBackend(Backend):
                 for t in mapping.target_tgds
                 if not t.target_relation.startswith("_tmp")
             ]
-        outputs = {
-            name: Cube.from_rows(mapping.target[name], result.instance.facts(name))
-            for name in wanted
-        }
+        outputs: Dict[str, Cube] = {}
+        for name in wanted:
+            cube = Cube.from_rows(
+                mapping.target[name], result.instance.facts(name)
+            )
+            store = result.instance.export_store(name)
+            if store is not None and store.n_rows == len(cube):
+                # from_rows accepted every row, so the dimension tuples
+                # are distinct; carry the encoded columns on the cube
+                # for the next run to adopt
+                store.dims_distinct = True
+                cube._colstore = store
+            outputs[name] = cube
         if self.capture_deltas:
             snapshot = DeltaSnapshot(
                 mapping, result.instance, result.functional,

@@ -74,6 +74,7 @@ __all__ = [
     "EncodedColumn",
     "FallbackUnsupported",
     "apply_vectorized",
+    "decode_facts",
 ]
 
 _INT = np.int64
@@ -164,20 +165,21 @@ class ColumnarRelation:
 
 
 def _relation_columns(
-    instance, relation: str, arity: int, tracer=NULL_TRACER
+    instance, relation: str, arity: int, tracer=NULL_TRACER, metrics=None
 ) -> ColumnarRelation:
-    """The cached columnar image of one relation (encoded on demand)."""
-    cached = instance.get_columnar(relation)
-    if cached is not None:
-        if cached.arity != arity:
-            raise FallbackUnsupported("cached arity mismatch")
-        return cached
-    with tracer.span("kernel:encode", category="kernel", relation=relation) as span:
-        columnar = ColumnarRelation.from_facts(instance.facts(relation), arity)
-        span.note(rows=columnar.n_rows)
-    if columnar.n_rows:
-        instance.set_columnar(relation, columnar)
-    return columnar
+    """The columnar image of one relation.
+
+    Columnar-native relations hand their image over directly (the
+    zero-encode path); tuple-mode relations are encoded on demand by
+    the instance, which traces the ``kernel:encode`` span and counts
+    the encode on ``metrics``.
+    """
+    return instance.columnar_image(relation, arity, tracer, metrics)
+
+
+def decode_facts(out_cols, n: int) -> list:
+    """Kernel output columns decoded back into fact tuples (row order)."""
+    return list(zip(*[_column_list(col, n) for col in out_cols]))
 
 
 # -- the term-tree compiler ---------------------------------------------------
@@ -459,13 +461,13 @@ def _atom_binds(plan: _AtomPlan, rel: ColumnarRelation):
     return binds, rows
 
 
-def _match(plan: _TgdPlan, instance, registry, tracer=NULL_TRACER):
+def _match(plan: _TgdPlan, instance, registry, tracer=NULL_TRACER, metrics=None):
     """The vectorized lhs match: env columns aligned over match rows."""
     env: Dict[str, Any] = {}
     n_env = 0
     for index, atom_plan in enumerate(plan.atoms):
         rel = _relation_columns(
-            instance, atom_plan.relation, atom_plan.arity, tracer
+            instance, atom_plan.relation, atom_plan.arity, tracer, metrics
         )
         binds, rows = _atom_binds(atom_plan, rel)
         if index == 0:
@@ -641,18 +643,19 @@ def _emit(tgd, out_cols, n, target, functional, insert_batch,
           tracer=NULL_TRACER) -> int:
     if n == 0:
         return 0
-    lists = [_column_list(col, n) for col in out_cols]
-    facts = list(zip(*lists))
     with tracer.span("kernel:egd-check", category="kernel", rows=n):
         unique = _dims_unique(out_cols[:-1], n)
     if unique:
-        # distinct keys: the batch insert may not need the dimension
-        # tuples at all (single-writer fast path), so don't build them
+        # distinct keys: hand the encoded columns straight to the batch
+        # insert — on the single-writer fast path they are adopted into
+        # the target's column buffers without ever building fact tuples
         with tracer.span("kernel:insert", category="kernel", rows=n):
             return insert_batch(
-                target, functional, tgd.target_relation, facts,
-                assume_unique=True,
+                target, functional, tgd.target_relation, None,
+                assume_unique=True, columns=out_cols, n=n,
             )
+    lists = [_column_list(col, n) for col in out_cols]
+    facts = list(zip(*lists))
     dims = list(zip(*lists[:-1])) if len(lists) > 1 else [()] * n
     with tracer.span("kernel:insert", category="kernel", rows=n):
         return insert_batch(
@@ -675,6 +678,7 @@ def apply_vectorized(
     insert_batch,
     plans: Dict[int, Tuple[Tgd, Any]],
     tracer=NULL_TRACER,
+    metrics=None,
 ) -> int:
     """Apply one tgd with columnar kernels.
 
@@ -693,22 +697,22 @@ def apply_vectorized(
             return insert_batch(target, functional, tgd.target_relation, facts)
     plan = _plan_for(tgd, plans)
     if tgd.kind is TgdKind.TUPLE_LEVEL:
-        env, n = _match(plan, operand_instance, registry, tracer)
+        env, n = _match(plan, operand_instance, registry, tracer, metrics)
         with tracer.span("kernel:eval", category="kernel", rows=n):
             out_cols = _output_columns(plan.rhs, env, registry, n)
         return _emit(tgd, out_cols, n, target, functional, insert_batch, tracer)
     return _apply_aggregation(
         plan, tgd, operand_instance, target, functional, registry,
-        insert_batch, tracer,
+        insert_batch, tracer, metrics,
     )
 
 
 def _apply_aggregation(
     plan, tgd, operand_instance, target, functional, registry, insert_batch,
-    tracer=NULL_TRACER,
+    tracer=NULL_TRACER, metrics=None,
 ) -> int:
     aggregate = get_aggregate(plan.agg_func)
-    env, n = _match(plan, operand_instance, registry, tracer)
+    env, n = _match(plan, operand_instance, registry, tracer, metrics)
     if n == 0:
         return 0
     with tracer.span("kernel:eval", category="kernel", rows=n):

@@ -502,7 +502,9 @@ class DeltaChase:
         rows: List[Tuple] = []
 
         def collect(target, functional, rel, batch, dims=None, measures=None,
-                    assume_unique=False):
+                    assume_unique=False, columns=None, n=0):
+            if batch is None:
+                batch = columnar.decode_facts(columns, n)
             rows.extend(batch)
             return len(batch)
 

@@ -287,6 +287,11 @@ class StratifiedChase:
         stats: Optional[ChaseStats] = None,
     ) -> int:
         if self.vectorized:
+            if tgd.kind is TgdKind.COPY:
+                produced = self._copy_columnar(tgd, target, target, functional)
+                if produced is not None:
+                    self._note_kernel(stats, used=True)
+                    return produced
             try:
                 produced = columnar.apply_vectorized(
                     tgd,
@@ -297,6 +302,7 @@ class StratifiedChase:
                     self._insert_batch,
                     self._kernel_plans,
                     tracer=self.tracer,
+                    metrics=self.metrics,
                 )
             except columnar.FallbackUnsupported as unsupported:
                 self._note_kernel(stats, used=False, reason=str(unsupported))
@@ -330,10 +336,12 @@ class StratifiedChase:
     ) -> int:
         relation = tgd.lhs[0].relation
         if self.vectorized:
-            # materialized as a list on purpose: set.update of a *set*
-            # presizes the target table, which changes the final set
-            # layout away from what per-fact inserts build — the
-            # insertion-sequence invariant needs the element-wise path
+            adopted = self._copy_columnar(tgd, source, target, functional)
+            if adopted is not None:
+                return adopted
+            # materialized as a list on purpose: the batch must flow
+            # element-wise into the target store so the insertion
+            # sequence matches what per-fact inserts build
             return self._insert_batch(
                 target,
                 functional,
@@ -345,6 +353,35 @@ class StratifiedChase:
             produced += self._insert(target, functional, tgd.target_relation, fact)
         self.metrics.inc("chase.egd.checks", source.size(relation))
         return produced
+
+    def _copy_columnar(
+        self,
+        tgd: Tgd,
+        source: RelationalInstance,
+        target: RelationalInstance,
+        functional: Dict[str, Dict[Tuple, Any]],
+    ) -> Optional[int]:
+        """Copy-tgd adoption: share the operand's column buffers.
+
+        When the operand relation is columnar with provably distinct
+        dimension tuples and the (single-writer, still empty) target
+        relation will never consult the functional index, the copy is
+        O(1): the store is adopted copy-on-write — no per-fact insert,
+        no re-encode.  Returns None when the preconditions fail and the
+        caller must run the element-wise path.
+        """
+        relation = tgd.target_relation
+        if relation not in self._single_writer or functional.get(relation):
+            return None
+        store = source.export_store(tgd.lhs[0].relation)
+        if store is None or not store.dims_distinct:
+            return None
+        with target.lock(relation):
+            adopted = target.adopt(relation, store)
+        if adopted is None:
+            return None
+        self.metrics.inc("chase.egd.checks", adopted)
+        return adopted
 
     def _apply_tuple_level(
         self,
@@ -579,10 +616,12 @@ class StratifiedChase:
         target: RelationalInstance,
         functional: Dict[str, Dict[Tuple, Any]],
         relation: str,
-        facts: Collection[Tuple],
+        facts: Optional[Collection[Tuple]],
         dims: Optional[List[Tuple]] = None,
         measures: Optional[List[Any]] = None,
         assume_unique: bool = False,
+        columns: Optional[List[Any]] = None,
+        n: int = 0,
     ) -> int:
         """Insert a batch of facts with a batched egd check.
 
@@ -595,7 +634,27 @@ class StratifiedChase:
         distinctness columnarly.  Any remaining case replays through
         the per-fact egd-checking insert, raising the identical
         :class:`ChaseError`.
+
+        Kernels may pass encoded output ``columns`` (with row count
+        ``n``) instead of ``facts``: on the single-writer empty-target
+        fast path the columns are appended straight into the target's
+        columnar buffers — no fact tuples are ever built; otherwise
+        they are decoded and flow through the generic path.
         """
+        if columns is not None:
+            if n == 0:
+                return 0
+            if (
+                assume_unique
+                and relation in self._single_writer
+                and not functional.get(relation)
+                and not target.size(relation)
+            ):
+                appended = target.append_columns(relation, columns, n)
+                if appended is not None:
+                    self.metrics.inc("chase.egd.checks", appended)
+                    return appended
+            facts = columnar.decode_facts(columns, n)
         if not facts:
             return 0
         self.metrics.inc("chase.egd.checks", len(facts))

@@ -1,0 +1,161 @@
+"""Columnar sidecar persistence: dictionaries and key codes on disk.
+
+Warm-process runs keep the encode tax at zero because every cube carries
+its :class:`~repro.chase.colstore.ColumnStore` through the versioned
+store (``Cube.copy`` shares the cached store).  Across *processes* —
+``exl run`` followed by ``exl update`` — that cache is gone, and the
+first chase would have to rebuild every store from the tuple rows.  This
+module persists the columnar representation next to the baseline CSVs
+(``<out>/baseline/columnar/<name>.json``) so a fresh process re-attaches
+the encoded columns instead of re-encoding.
+
+The sidecar is a plain-JSON struct-of-arrays dump::
+
+    {"format": 1, "cube": "GDP", "csv_sha256": "…", "n_rows": 3,
+     "dims": [{"dictionary": ["2020Q1", "2020Q2"], "codes": [0, 1, 0]}],
+     "measures": [1.5, 2.5, 3.5]}
+
+Dictionary entries are serialized with ``str()`` — the same textual form
+the baseline CSVs use — and parsed back through the schema's dimension
+types (:func:`repro.model.io.parse_dim_value`).  ``csv_sha256`` hashes
+the companion CSV file's bytes: a sidecar is only trusted when it still
+matches the CSV it was written beside, so hand-edited or stale baselines
+silently fall back to the tuple path instead of resurrecting old codes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..model.cube import Cube, CubeSchema
+from ..model.io import parse_dim_value
+from .colstore import ColumnStore
+from .instance import store_for_cube
+
+__all__ = [
+    "SIDECAR_FORMAT",
+    "sidecar_path_for",
+    "write_store_sidecar",
+    "read_store_sidecar",
+    "attach_store_sidecar",
+]
+
+SIDECAR_FORMAT = 1
+
+
+def _file_sha256(path: Path) -> Optional[str]:
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+def sidecar_path_for(baseline_dir: Union[str, Path], name: str) -> Path:
+    """Where the sidecar for cube ``name`` lives under a baseline dir."""
+    return Path(baseline_dir) / "columnar" / f"{name}.json"
+
+
+def write_store_sidecar(
+    cube: Cube, csv_path: Union[str, Path], sidecar_path: Union[str, Path]
+) -> bool:
+    """Persist ``cube``'s columnar store beside its baseline CSV.
+
+    Returns False (writing nothing, removing any stale sidecar) when the
+    cube has no columnar representation — forced tuple mode, or rows the
+    store cannot hold.
+    """
+    sidecar_path = Path(sidecar_path)
+    store = store_for_cube(cube)
+    digest = _file_sha256(Path(csv_path))
+    if store is None or digest is None:
+        sidecar_path.unlink(missing_ok=True)
+        return False
+    payload = {
+        "format": SIDECAR_FORMAT,
+        "cube": cube.schema.name,
+        "csv_sha256": digest,
+        "n_rows": store.n_rows,
+        "dims": [
+            {
+                "dictionary": [str(value) for value in store.dicts[j]],
+                "codes": store.codes[j],
+            }
+            for j in range(store.arity - 1)
+        ],
+        "measures": store.measures,
+    }
+    sidecar_path.parent.mkdir(parents=True, exist_ok=True)
+    sidecar_path.write_text(json.dumps(payload))
+    return True
+
+
+def read_store_sidecar(
+    schema: CubeSchema,
+    csv_path: Union[str, Path],
+    sidecar_path: Union[str, Path],
+) -> Optional[ColumnStore]:
+    """Rebuild a :class:`ColumnStore` from a sidecar, or None when the
+    sidecar is absent, malformed, or stale against the CSV file."""
+    try:
+        payload = json.loads(Path(sidecar_path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("format") != SIDECAR_FORMAT:
+        return None
+    if payload.get("cube") != schema.name:
+        return None
+    digest = _file_sha256(Path(csv_path))
+    if digest is None or payload.get("csv_sha256") != digest:
+        return None
+    dims = payload.get("dims")
+    measures = payload.get("measures")
+    if not isinstance(dims, list) or not isinstance(measures, list):
+        return None
+    if len(dims) != schema.arity:
+        return None
+    store = ColumnStore(schema.arity + 1)
+    try:
+        n = len(measures)
+        for j, (dim, entry) in enumerate(zip(schema.dimensions, dims)):
+            values = [
+                parse_dim_value(dim.dtype, text)
+                for text in entry["dictionary"]
+            ]
+            codes = [int(code) for code in entry["codes"]]
+            if len(codes) != n:
+                return None
+            if codes and not (0 <= min(codes) and max(codes) < len(values)):
+                return None
+            store.dicts[j] = values
+            store.vmaps[j] = {value: k for k, value in enumerate(values)}
+            store.codes[j] = codes
+        store.measures = [float(value) for value in measures]
+    except (KeyError, TypeError, ValueError, OverflowError):
+        return None
+    if payload.get("n_rows") != store.n_rows:
+        return None
+    # baselines come from functional cubes, so the key tuples are
+    # distinct — this is what lets the chase adopt the store wholesale
+    store.dims_distinct = True
+    return store
+
+
+def attach_store_sidecar(
+    cube: Cube, csv_path: Union[str, Path], sidecar_path: Union[str, Path]
+) -> bool:
+    """Attach a persisted columnar store to ``cube`` when it matches.
+
+    The store is only adopted when the sidecar verifies against the CSV
+    *and* its row count matches the cube — otherwise the cube keeps its
+    lazy tuple path and the next chase rebuilds the columns.
+    """
+    store = read_store_sidecar(cube.schema, csv_path, sidecar_path)
+    if store is None or store.n_rows != len(cube):
+        return False
+    cube._colstore = store
+    return True

@@ -176,7 +176,15 @@ class ChaseCache:
 
     @staticmethod
     def fingerprint(instance: RelationalInstance, relation: str) -> int:
-        """Order-independent content hash of one relation."""
+        """Order-independent content hash of one relation.
+
+        Delegated to the instance, which caches the hash per store and
+        row count — repeat key computations over unchanged relations
+        (the warm-update workload) don't re-hash the facts.
+        """
+        native = getattr(instance, "fingerprint", None)
+        if native is not None:
+            return native(relation)
         return hash(frozenset(instance.facts(relation)))
 
     def get(self, key: Tuple) -> Optional[Tuple]:
@@ -394,6 +402,8 @@ class ParallelStratifiedChase(StratifiedChase):
         dims=None,
         measures=None,
         assume_unique: bool = False,
+        columns=None,
+        n: int = 0,
     ) -> int:
         with target.lock(relation):
             return StratifiedChase._insert_batch(
@@ -405,4 +415,6 @@ class ParallelStratifiedChase(StratifiedChase):
                 dims=dims,
                 measures=measures,
                 assume_unique=assume_unique,
+                columns=columns,
+                n=n,
             )

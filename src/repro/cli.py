@@ -48,6 +48,11 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from .backends import all_backends
+from .chase.persist import (
+    attach_store_sidecar,
+    sidecar_path_for,
+    write_store_sidecar,
+)
 from .engine import EXLEngine
 from .engine.history import COMMITTED_OUTCOMES
 from .errors import ReproError
@@ -283,7 +288,10 @@ def _persist_baseline(engine, record, out_dir: Path) -> None:
     Writes every cube with data (elementary and derived) as a CSV under
     ``<out>/baseline/`` plus the run record; ``update`` diffs fresh
     input CSVs against these to decide what is dirty, and re-admits the
-    derived ones so unchanged subgraphs keep their results.
+    derived ones so unchanged subgraphs keep their results.  Each CSV
+    gets a columnar sidecar (``baseline/columnar/<name>.json``) holding
+    the cube's dictionaries and key codes, so the next process attaches
+    the encoded columns instead of re-encoding unchanged relations.
     """
     baseline_dir, baseline_file = _baseline_paths(out_dir)
     baseline_dir.mkdir(parents=True, exist_ok=True)
@@ -293,6 +301,9 @@ def _persist_baseline(engine, record, out_dir: Path) -> None:
             continue
         destination = baseline_dir / f"{name}.csv"
         write_cube_csv(engine.data(name), destination)
+        write_store_sidecar(
+            engine.data(name), destination, sidecar_path_for(baseline_dir, name)
+        )
         cubes[name] = destination.name
     baseline_file.write_text(
         json.dumps({"record": record.to_json(), "cubes": cubes}, indent=2)
@@ -353,6 +364,14 @@ def cmd_update(args) -> int:
         )
         if not previous.delta(engine.data(name)).is_empty:
             changed.append(name)
+        else:
+            # content-identical to the baseline: re-attach the persisted
+            # columnar store so the chase adopts it without re-encoding
+            attach_store_sidecar(
+                engine.data(name),
+                baseline_dir / rel_path,
+                sidecar_path_for(baseline_dir, name),
+            )
     # re-admit the baseline's derived cubes: unchanged subgraphs then
     # keep these versions (skipped with outcome "clean") instead of
     # being recomputed
@@ -360,6 +379,11 @@ def cmd_update(args) -> int:
         if engine.catalog.is_derived(name):
             cube = read_cube_csv(
                 engine.catalog.schema_of(name), baseline_dir / rel_path
+            )
+            attach_store_sidecar(
+                cube,
+                baseline_dir / rel_path,
+                sidecar_path_for(baseline_dir, name),
             )
             engine.catalog.store.put(cube)
     restored = engine.runs.restore(state["record"])

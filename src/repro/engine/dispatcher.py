@@ -390,6 +390,14 @@ class Dispatcher:
                 )
                 if unchanged:
                     versions[name] = self.catalog.store.latest_version(name)
+                    # a clean recompute keeps the stored version; carry
+                    # the fresh cube's columnar store onto it when the
+                    # stored one has none (e.g. a CSV re-admitted
+                    # baseline), so later runs adopt instead of
+                    # re-encoding — content is delta-identical
+                    stored = self.catalog.data(name)
+                    if getattr(stored, "_colstore", None) is None:
+                        stored._colstore = getattr(cube, "_colstore", None)
                 else:
                     versions[name] = self.catalog.store.put(cube)
                     tuples += len(cube)

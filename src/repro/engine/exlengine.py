@@ -436,6 +436,7 @@ class EXLEngine:
                 chase_backend.vectorized_tgds,
                 chase_backend.fallback_tgds,
             )
+        encode_before = self.metrics.value("chase.kernel.encode")
         dispatcher = Dispatcher(
             self.catalog,
             self.graph,
@@ -478,6 +479,9 @@ class EXLEngine:
             record.fallback_tgds = (
                 chase_backend.fallback_tgds - kernels_before[1]
             )
+        record.encode_count = (
+            self.metrics.value("chase.kernel.encode") - encode_before
+        )
         if any(not s.committed for s in record.subgraphs):
             counts = record.outcomes()
             record.error = (

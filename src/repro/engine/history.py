@@ -116,6 +116,10 @@ class RunRecord:
     # fallen back to the tuple-at-a-time path during this run
     vectorized_tgds: int = 0
     fallback_tgds: int = 0
+    # tuple-store relations re-encoded into columnar form during this
+    # run; stays 0 when every relation lived columnar-native (warm runs
+    # adopt the cached stores and never pay the encode tax)
+    encode_count: int = 0
     # failure semantics the dispatch ran under (fail | continue | degrade)
     on_error: str = "fail"
     # run id this run resumed, when it was started by EXLEngine.resume
@@ -218,7 +222,8 @@ class RunRecord:
             f"(determination {self.determination_s * 1000:.1f}ms, "
             f"translation {self.translation_s * 1000:.1f}ms, "
             f"chase kernels {self.vectorized_tgds} vectorized / "
-            f"{self.fallback_tgds} fallback)"
+            f"{self.fallback_tgds} fallback, "
+            f"{self.encode_count} re-encodes)"
         ]
         for record in self.subgraphs:
             flags = ""

@@ -186,6 +186,10 @@ class Cube:
     def __init__(self, schema: CubeSchema, data: Optional[Dict[DimTuple, float]] = None):
         self.schema = schema
         self._data: Dict[DimTuple, float] = {}
+        # cached columnar store of this cube's rows (see
+        # chase.instance.store_for_cube); shared by copy(), dropped on
+        # mutation — warm chase runs adopt it instead of re-encoding
+        self._colstore = None
         if data:
             for key, value in data.items():
                 self.set(key, value)
@@ -238,6 +242,7 @@ class Cube:
                 f"{self._data[key]!r} vs {value!r}"
             )
         self._data[key] = float(value)
+        self._colstore = None
 
     def get(self, key: Sequence[Any], default: Any = None) -> Any:
         return self._data.get(tuple(key), default)
@@ -344,6 +349,8 @@ class Cube:
         without rebuilding (and re-validating) every unchanged row.
         """
         clone = self.copy()
+        # the pops below bypass set(), so drop the shared store here
+        clone._colstore = None
         for row in delta.deleted:
             clone._data.pop(row[:-1], None)
         for _, new in delta.updated:
@@ -360,6 +367,11 @@ class Cube:
     def copy(self) -> "Cube":
         clone = Cube(self.schema)
         clone._data = dict(self._data)
+        # intentionally shared: the store is immutable from the cube's
+        # point of view (any mutation of either copy drops its pointer),
+        # and sharing it through the versioned store is what keeps warm
+        # runs encode-free
+        clone._colstore = self._colstore
         return clone
 
     def __repr__(self) -> str:

@@ -25,6 +25,7 @@ from .types import INTEGER, STRING, TIME, DimKind, DimType
 __all__ = [
     "parse_dimtype",
     "format_dimtype",
+    "parse_dim_value",
     "write_cube_csv",
     "read_cube_csv",
     "cube_to_csv_text",
@@ -63,6 +64,16 @@ def _parse_value(dtype: DimType, text: str) -> Any:
     if dtype.kind is DimKind.INTEGER:
         return int(text)
     return text
+
+
+def parse_dim_value(dtype: DimType, text: str) -> Any:
+    """Parse one dimension value from its ``str()`` serialization.
+
+    The inverse of how :func:`write_cube_csv` serializes dimension
+    values; also used by the columnar sidecar format, whose dictionary
+    entries round-trip through the same textual form as the CSVs.
+    """
+    return _parse_value(dtype, text)
 
 
 def write_cube_csv(cube: Cube, destination: Union[str, Path, TextIO]) -> None:

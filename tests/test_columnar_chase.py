@@ -268,23 +268,37 @@ class TestInstanceColumnarCache:
         assert instance.add_batch("R", [(1, 2.0), (3, 4.0)]) == 1
         assert instance.size("R") == 3
 
-    def test_mutation_invalidates_columnar_cache(self):
+    def test_mutation_refreshes_columnar_image(self):
+        # columnar-native: the image is derived from the live column
+        # buffers, so a mutation after an image was handed out yields a
+        # *new* current image — stale images are impossible by
+        # construction (they are content-tagged by row count)
         instance = RelationalInstance()
         instance.add("R", ("a", 1.0))
-        image = ColumnarRelation.from_facts(instance.facts("R"), 2)
-        instance.set_columnar("R", image)
-        assert instance.get_columnar("R") is image
+        image = instance.columnar_image("R", 2)
+        assert image.n_rows == 1
         instance.add("R", ("b", 2.0))
-        assert instance.get_columnar("R") is None
-        instance.set_columnar("R", image)
-        instance.add_batch("R", [("c", 3.0)])
-        assert instance.get_columnar("R") is None
+        fresh = instance.columnar_image("R", 2)
+        assert fresh is not image
+        assert fresh.n_rows == 2
+        assert fresh.dims[0].decode_list() == ["a", "b"]
+        assert fresh.measures.tolist() == [1.0, 2.0]
 
-    def test_copy_does_not_share_columnar_cache(self):
+    def test_copy_does_not_share_mutable_state(self):
         instance = RelationalInstance()
         instance.add("R", ("a", 1.0))
-        instance.set_columnar(
-            "R", ColumnarRelation.from_facts(instance.facts("R"), 2)
-        )
         clone = instance.copy()
-        assert clone.get_columnar("R") is None
+        clone.add("R", ("b", 2.0))
+        assert list(instance.facts("R")) == [("a", 1.0)]
+        assert list(clone.facts("R")) == [("a", 1.0), ("b", 2.0)]
+        assert instance.columnar_image("R", 2).n_rows == 1
+
+    def test_tuple_view_and_image_agree_after_growth(self):
+        instance = RelationalInstance()
+        facts = [("a", 1.0), ("b", 2.0), ("a", 3.0)]
+        for fact in facts:
+            instance.add("R", fact)
+        assert list(instance.facts("R")) == facts
+        image = instance.columnar_image("R", 2)
+        assert image.dims[0].decode_list() == ["a", "b", "a"]
+        assert image.measures.tolist() == [1.0, 2.0, 3.0]

@@ -1,0 +1,438 @@
+"""Property-based equivalence harness for columnar-native storage.
+
+Columnar-native means :class:`RelationalInstance` keeps each relation as
+dictionary-encoded struct-of-arrays and derives the tuple view lazily;
+``EXL_FORCE_TUPLE_VIEW=1`` (here: monkeypatching the module flag) keeps
+the pre-refactor eager tuple representation as the oracle.  The contract
+this suite pins (DESIGN.md §9): the representation is *unobservable* —
+chase solutions, committed stores, failure behaviour, and run
+bookkeeping are bit-identical between the two layouts across 50
+seeded-random programs × perturbations, composed with the suite-wide
+``--jobs`` / ``--no-vectorize`` axes, the chase cache, ``update()``, and
+injected faults.
+
+Also here: the encode-tax regression (warm runs and no-op updates must
+never re-encode an unchanged relation — and no relation is ever encoded
+twice), the mutation-after-view isolation pins, and the columnar sidecar
+persistence round-trip.
+"""
+
+import json
+from contextlib import contextmanager
+
+import pytest
+
+import repro.chase.instance as instance_mod
+from repro.chase import RelationalInstance, StratifiedChase, instance_from_cubes
+from repro.chase.persist import (
+    attach_store_sidecar,
+    read_store_sidecar,
+    sidecar_path_for,
+    write_store_sidecar,
+)
+from repro.cli import main as cli_main
+from repro.engine import EXLEngine, FaultPlan, FaultRule
+from repro.errors import ReproError
+from repro.exl import Program
+from repro.mappings import generate_mapping
+from repro.model import Cube
+from repro.model.io import write_cube_csv
+from repro.workloads import gdp_example, random_workload
+
+SEEDS = range(50)
+
+# the EXL_FORCE_TUPLE_VIEW=1 CI leg runs the whole suite on the eager
+# tuple layout; the zero-encode and sidecar guarantees only hold for the
+# columnar-native layout, so those pins step aside there
+requires_native = pytest.mark.skipif(
+    instance_mod.FORCE_TUPLE_VIEW,
+    reason="EXL_FORCE_TUPLE_VIEW=1 forces the eager tuple layout",
+)
+
+
+@contextmanager
+def _tuple_view(forced):
+    """Run a block under the forced-eager-tuple (oracle) representation."""
+    previous = instance_mod.FORCE_TUPLE_VIEW
+    instance_mod.FORCE_TUPLE_VIEW = forced
+    try:
+        yield
+    finally:
+        instance_mod.FORCE_TUPLE_VIEW = previous
+
+
+def _build_engine(workload, *, parallel=False, jobs=1, chase_cache=True,
+                  vectorize=True):
+    engine = EXLEngine(
+        parallel=parallel,
+        jobs=jobs,
+        chase_cache=chase_cache,
+        vectorize=vectorize,
+        target_priority=("chase",),
+    )
+    for schema in workload.schema:
+        engine.declare_elementary(schema)
+    engine.add_program(workload.source)
+    return engine
+
+
+def _truncate(data, seed):
+    """Drop ~5% of each cube's rows (the revision re-inserts them)."""
+    import random
+
+    rng = random.Random(70_000 + seed)
+    return {
+        name: Cube.from_rows(
+            cube.schema,
+            [row for row in cube.to_rows() if rng.random() >= 0.05],
+        )
+        for name, cube in data.items()
+    }
+
+
+def _perturb(data, seed):
+    """A random data revision: edits + deletions (and, against a
+    truncated baseline, insertions); seeds ≡ 7 (mod 10) stay untouched,
+    pinning the no-op update."""
+    import random
+
+    if seed % 10 == 7:
+        return {name: cube.copy() for name, cube in data.items()}
+    rng = random.Random(80_000 + seed)
+    out = {}
+    for name, cube in data.items():
+        if len(out) and rng.random() < 0.4:
+            out[name] = cube.copy()
+            continue
+        rows = []
+        for row in cube.to_rows():
+            roll = rng.random()
+            if roll < 0.03:
+                continue
+            if roll < 0.25:
+                row = row[:-1] + (row[-1] + rng.uniform(-3.0, 3.0),)
+            rows.append(row)
+        out[name] = Cube.from_rows(cube.schema, rows)
+    return out
+
+
+def _store_state(engine):
+    return {
+        name: engine.data(name)
+        for name in engine.catalog.store.names()
+        if engine.catalog.has_data(name)
+    }
+
+
+def _assert_same_stores(native, oracle, context):
+    left, right = _store_state(native), _store_state(oracle)
+    assert set(left) == set(right), context
+    for name in left:
+        delta = left[name].delta(right[name])
+        assert delta.is_empty, (
+            f"{context}: {name} diverged between columnar-native and the "
+            f"tuple oracle (+{len(delta.inserted)} -{len(delta.deleted)} "
+            f"~{len(delta.updated)})"
+        )
+
+
+class TestChaseEquivalence:
+    """StratifiedChase solutions are representation-independent —
+    tuple for tuple *and* insertion order for insertion order."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_native_equals_tuple_oracle(self, seed):
+        workload = random_workload(
+            seed + 600, n_statements=7, n_periods=10, n_regions=2
+        )
+        program = Program.compile(workload.source, workload.schema)
+        mapping = generate_mapping(program)
+        vectorized = seed % 2 == 0  # compose the kernel axis over the sweep
+        results = {}
+        for forced in (False, True):
+            with _tuple_view(forced):
+                source = instance_from_cubes(workload.data)
+                results[forced] = StratifiedChase(
+                    mapping, vectorized=vectorized
+                ).run(source)
+        native, oracle = results[False], results[True]
+        assert sorted(native.instance.relations()) == sorted(
+            oracle.instance.relations()
+        )
+        for relation in native.instance.relations():
+            assert list(native.instance.facts(relation)) == list(
+                oracle.instance.facts(relation)
+            ), f"seed {seed}: relation {relation} differs across layouts"
+        assert native.stats.tuples_generated == oracle.stats.tuples_generated
+
+
+class TestEngineEquivalence:
+    """Full engine lifecycle — run, warm rerun, revise, update — lands
+    on identical committed stores under both representations."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_committed_stores_match_tuple_oracle(self, seed, chase_jobs):
+        workload = random_workload(
+            seed, n_statements=6, n_periods=12, n_regions=2
+        )
+        baseline = _truncate(workload.data, seed)
+        revised = _perturb(workload.data, seed)
+        parallel = seed % 3 == 0 and chase_jobs > 1
+        chase_cache = seed % 2 == 0
+        vectorize = seed % 5 != 0
+        engines = {}
+        failures = {}
+        for forced in (False, True):
+            with _tuple_view(forced):
+                engine = _build_engine(
+                    workload,
+                    parallel=parallel,
+                    jobs=chase_jobs,
+                    chase_cache=chase_cache,
+                    vectorize=vectorize,
+                )
+                for cube in baseline.values():
+                    engine.load(cube)
+                try:
+                    engine.run()
+                    if chase_cache:
+                        engine.run()  # warm rerun exercises cache replay
+                    for cube in revised.values():
+                        engine.load(cube)
+                    engine.update()
+                    failures[forced] = None
+                except ReproError as exc:
+                    failures[forced] = f"{type(exc).__name__}: {exc}"
+                engines[forced] = engine
+        # identical failure, or identical committed stores
+        assert failures[False] == failures[True], f"seed {seed}"
+        if failures[False] is None:
+            _assert_same_stores(
+                engines[False], engines[True], f"seed {seed}"
+            )
+
+
+class TestFaultComposition:
+    """Injected faults fire identically under both layouts: same
+    per-subgraph outcomes, same committed (partial) stores."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_faulty_dispatch_lands_identically(self, seed):
+        workload = gdp_example(
+            n_quarters=8, regions=("north", "south"), seed=seed
+        )
+        plan = FaultPlan(
+            [FaultRule(kind="transient", probability=0.5)], seed=seed
+        )
+        engines, outcomes = {}, {}
+        for forced in (False, True):
+            with _tuple_view(forced):
+                engine = _build_engine(workload)
+                for cube in workload.data.values():
+                    engine.load(cube)
+                record = engine.run(
+                    retries=1, on_error="continue", fault_plan=plan
+                )
+                engines[forced] = engine
+                outcomes[forced] = {
+                    cube: s.outcome
+                    for s in record.subgraphs
+                    for cube in s.cubes
+                }
+        assert outcomes[False] == outcomes[True], f"seed {seed}"
+        _assert_same_stores(engines[False], engines[True], f"seed {seed}")
+
+
+class TestEncodeTax:
+    """Unchanged relations are never re-encoded — and in the native
+    layout nothing is encoded at all, because no relation ever lives as
+    a tuple set in the first place."""
+
+    def _loaded_engine(self, **kwargs):
+        workload = gdp_example(
+            n_quarters=10, regions=("north", "south"), seed=5
+        )
+        engine = _build_engine(workload, **kwargs)
+        for cube in workload.data.values():
+            engine.load(cube)
+        return engine, workload
+
+    def _assert_no_relation_encoded_twice(self, engine):
+        per_relation = engine.metrics.counters("chase.kernel.encode.relation:")
+        twice = {name: n for name, n in per_relation.items() if n > 1}
+        assert not twice, f"relations encoded more than once: {twice}"
+
+    @requires_native
+    def test_cold_and_warm_runs_never_encode(self):
+        engine, _ = self._loaded_engine()
+        engine.run()
+        assert engine.metrics.value("chase.kernel.encode") == 0
+        record = engine.run()  # warm full rerun adopts every cube store
+        assert engine.metrics.value("chase.kernel.encode") == 0
+        assert record.encode_count == 0
+        self._assert_no_relation_encoded_twice(engine)
+
+    @requires_native
+    def test_noop_update_never_encodes(self):
+        engine, workload = self._loaded_engine()
+        engine.run()
+        for cube in workload.data.values():
+            engine.load(cube.copy())  # bit-identical revision
+        record = engine.update()
+        assert engine.metrics.value("chase.kernel.encode") == 0
+        assert record.encode_count == 0
+        self._assert_no_relation_encoded_twice(engine)
+
+    @requires_native
+    def test_dirty_update_never_encodes(self):
+        engine, workload = self._loaded_engine()
+        engine.run()
+        revised = workload.data["PDR"].copy()
+        row = revised.to_rows()[0]
+        revised.set(row[:-1], row[-1] + 1.5, overwrite=True)
+        engine.load(revised)
+        record = engine.update()
+        assert engine.metrics.value("chase.kernel.encode") == 0
+        assert record.encode_count == 0
+        self._assert_no_relation_encoded_twice(engine)
+
+    def test_counter_is_live_under_forced_tuple_view(self):
+        # the zero assertions above are only meaningful if the counter
+        # actually fires when relations *do* live as tuple sets
+        with _tuple_view(True):
+            engine, _ = self._loaded_engine()
+            record = engine.run()
+            assert engine.metrics.value("chase.kernel.encode") > 0
+            assert record.encode_count > 0
+            assert "re-encodes" in record.summary()
+
+
+class TestViewIsolation:
+    """``view()`` shares column images with the owner; a write through
+    the clone must fork, never corrupt the owner's columnar state."""
+
+    def test_clone_write_cannot_corrupt_owner(self):
+        owner = RelationalInstance()
+        owner.add("R", ("a", 1.0))
+        owner.add("R", ("b", 2.0))
+        before = owner.columnar_image("R", 2)
+        clone = owner.view(["R"])
+        clone.add("R", ("z", 99.0))  # must fork the shared store
+        assert list(owner.facts("R")) == [("a", 1.0), ("b", 2.0)]
+        assert list(clone.facts("R")) == [
+            ("a", 1.0), ("b", 2.0), ("z", 99.0),
+        ]
+        image = owner.columnar_image("R", 2)
+        assert image.n_rows == 2
+        assert image.dims[0].decode_list() == ["a", "b"]
+        assert image.measures.tolist() == [1.0, 2.0]
+        # the image handed out before the view stays valid too
+        assert before.dims[0].decode_list() == ["a", "b"]
+
+    def test_clone_removal_cannot_corrupt_owner(self):
+        owner = RelationalInstance()
+        owner.add("R", ("a", 1.0))
+        owner.add("R", ("b", 2.0))
+        clone = owner.view(["R"])
+        assert clone.remove_batch("R", [("a", 1.0)]) == 1
+        assert list(owner.facts("R")) == [("a", 1.0), ("b", 2.0)]
+        assert owner.columnar_image("R", 2).n_rows == 2
+        assert list(clone.facts("R")) == [("b", 2.0)]
+
+    def test_owner_write_stays_visible_through_unforked_view(self):
+        # the owner is NOT marked shared by view(): it keeps appending
+        # to its live store, and a clone that never wrote sees the
+        # owner's later facts (the read-through semantics delta replay
+        # relies on)
+        owner = RelationalInstance()
+        owner.add("R", ("a", 1.0))
+        clone = owner.view(["R"])
+        owner.add("R", ("b", 2.0))
+        assert list(clone.facts("R")) == [("a", 1.0), ("b", 2.0)]
+
+
+class TestSidecarPersistence:
+    """Dictionaries and key codes survive to disk next to the baseline
+    CSVs, guarded by the CSV content hash."""
+
+    def _cube(self):
+        workload = gdp_example(n_quarters=6, regions=("north",), seed=2)
+        return workload.data["PDR"]
+
+    @requires_native
+    def test_roundtrip_restores_identical_store(self, tmp_path):
+        cube = self._cube()
+        csv_path = tmp_path / "PDR.csv"
+        write_cube_csv(cube, csv_path)
+        sidecar = sidecar_path_for(tmp_path, "PDR")
+        assert write_store_sidecar(cube, csv_path, sidecar)
+        store = read_store_sidecar(cube.schema, csv_path, sidecar)
+        assert store is not None
+        assert store.dims_distinct
+        original = instance_mod.store_for_cube(cube)
+        assert list(store.rows()) == list(original.rows())
+
+    @requires_native
+    def test_stale_csv_rejects_sidecar(self, tmp_path):
+        cube = self._cube()
+        csv_path = tmp_path / "PDR.csv"
+        write_cube_csv(cube, csv_path)
+        sidecar = sidecar_path_for(tmp_path, "PDR")
+        assert write_store_sidecar(cube, csv_path, sidecar)
+        csv_path.write_text(csv_path.read_text() + "\n")
+        assert read_store_sidecar(cube.schema, csv_path, sidecar) is None
+        assert not attach_store_sidecar(cube.copy(), csv_path, sidecar)
+
+    @requires_native
+    def test_tampered_sidecar_is_rejected(self, tmp_path):
+        cube = self._cube()
+        csv_path = tmp_path / "PDR.csv"
+        write_cube_csv(cube, csv_path)
+        sidecar = sidecar_path_for(tmp_path, "PDR")
+        assert write_store_sidecar(cube, csv_path, sidecar)
+        payload = json.loads(sidecar.read_text())
+        payload["measures"] = payload["measures"][:-1]
+        sidecar.write_text(json.dumps(payload))
+        assert read_store_sidecar(cube.schema, csv_path, sidecar) is None
+
+    def test_forced_tuple_view_writes_no_sidecar(self, tmp_path):
+        cube = self._cube()
+        csv_path = tmp_path / "PDR.csv"
+        write_cube_csv(cube, csv_path)
+        sidecar = sidecar_path_for(tmp_path, "PDR")
+        with _tuple_view(True):
+            assert not write_store_sidecar(cube, csv_path, sidecar)
+        assert not sidecar.exists()
+
+    @requires_native
+    def test_cli_run_then_update_uses_sidecars(self, tmp_path):
+        workload = gdp_example(n_quarters=10, regions=("north",), seed=4)
+        for name, cube in workload.data.items():
+            write_cube_csv(cube, tmp_path / f"{name.lower()}.csv")
+        spec = {
+            "elementary": [
+                {
+                    "name": schema.name,
+                    "dimensions": [
+                        [d.name, _dimtype_spec(d)] for d in schema.dimensions
+                    ],
+                    "measure": schema.measure,
+                    "csv": f"{schema.name.lower()}.csv",
+                }
+                for schema in workload.schema
+            ],
+            "program": workload.source,
+        }
+        project = tmp_path / "project.json"
+        project.write_text(json.dumps(spec))
+        out = tmp_path / "out"
+        assert cli_main(["run", str(project), "--out", str(out)]) == 0
+        columnar_dir = out / "baseline" / "columnar"
+        assert sorted(p.name for p in columnar_dir.glob("*.json"))
+        assert cli_main(["update", str(project), "--out", str(out)]) == 0
+
+
+def _dimtype_spec(dimension):
+    from repro.model.io import format_dimtype
+
+    return format_dimtype(dimension.dtype)
