@@ -82,7 +82,9 @@ class ColumnStore:
         #: clears it — it may only over-report duplicates, never under
         self.dims_distinct = False
         # derived state, all rebuilt lazily and tagged with the row
-        # count they were built at
+        # count they were built at — sound only because this store is
+        # strictly append-only (no removal; a relation that needs to
+        # retract demotes to TupleStore, which tags by mutation counter)
         self._members: Optional[Dict[Tuple, None]] = None
         self._view: Optional[Dict[Fact, None]] = None
         self._view_rows = 0
@@ -308,18 +310,27 @@ class TupleStore:
 
     Used for relations whose facts do not fit the columnar shape and
     for the ``EXL_FORCE_TUPLE_VIEW=1`` mode; the columnar image is
-    encoded on demand (the classic encode tax) and cached per length.
+    encoded on demand (the classic encode tax) and cached.
+
+    Unlike :class:`ColumnStore`, this store supports removal, so the
+    row count is NOT a valid staleness tag: the delta chase's splice
+    retracts *k* facts and asserts *k* new ones for update-only
+    revisions, restoring the original length with different content.
+    Caches are therefore keyed on a monotonic mutation counter that
+    every add and every removal bumps.
     """
 
-    __slots__ = ("facts", "_image", "_image_rows", "_fp", "_fp_rows")
+    __slots__ = ("facts", "_mut", "_image", "_image_mut", "_fp", "_fp_mut")
 
     def __init__(self, facts: Optional[Dict[Fact, None]] = None):
         #: fact -> None, in insertion order
         self.facts: Dict[Fact, None] = {} if facts is None else facts
+        #: monotonic mutation counter tagging the derived caches
+        self._mut = 0
         self._image: Optional[ColumnarRelation] = None
-        self._image_rows = -1
+        self._image_mut = -1
         self._fp: Optional[int] = None
-        self._fp_rows = -1
+        self._fp_mut = -1
 
     @property
     def n_rows(self) -> int:
@@ -329,6 +340,7 @@ class TupleStore:
         if fact in self.facts:
             return False
         self.facts[fact] = None
+        self._mut += 1
         return True
 
     def remove(self, gone) -> int:
@@ -336,7 +348,10 @@ class TupleStore:
         before = len(facts)
         for fact in gone:
             facts.pop(fact, None)
-        return before - len(facts)
+        removed = before - len(facts)
+        if removed:
+            self._mut += 1
+        return removed
 
     def rows(self) -> Dict[Fact, None]:
         return self.facts
@@ -344,25 +359,25 @@ class TupleStore:
     def cached_image(self) -> Optional[ColumnarRelation]:
         """The cached image when still current, else None (re-encode)."""
         image = self._image
-        if image is not None and self._image_rows == len(self.facts):
+        if image is not None and self._image_mut == self._mut:
             return image
         return None
 
     def set_image(self, image: ColumnarRelation) -> None:
         self._image = image
-        self._image_rows = len(self.facts)
+        self._image_mut = self._mut
 
     def fingerprint(self) -> int:
-        n = len(self.facts)
-        if self._fp is None or self._fp_rows != n:
+        if self._fp is None or self._fp_mut != self._mut:
             self._fp = hash(frozenset(self.facts))
-            self._fp_rows = n
+            self._fp_mut = self._mut
         return self._fp
 
     def fork(self) -> "TupleStore":
         clone = TupleStore(dict(self.facts))
+        clone._mut = self._mut
         clone._image = self._image
-        clone._image_rows = self._image_rows
+        clone._image_mut = self._image_mut
         clone._fp = self._fp
-        clone._fp_rows = self._fp_rows
+        clone._fp_mut = self._fp_mut
         return clone

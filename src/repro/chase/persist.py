@@ -11,24 +11,38 @@ the encoded columns instead of re-encoding.
 
 The sidecar is a plain-JSON struct-of-arrays dump::
 
-    {"format": 1, "cube": "GDP", "csv_sha256": "…", "n_rows": 3,
+    {"format": 2, "cube": "GDP", "csv_sha256": "…",
+     "payload_sha256": "…", "n_rows": 3,
      "dims": [{"dictionary": ["2020Q1", "2020Q2"], "codes": [0, 1, 0]}],
      "measures": [1.5, 2.5, 3.5]}
 
 Dictionary entries are serialized with ``str()`` — the same textual form
 the baseline CSVs use — and parsed back through the schema's dimension
-types (:func:`repro.model.io.parse_dim_value`).  ``csv_sha256`` hashes
-the companion CSV file's bytes: a sidecar is only trusted when it still
-matches the CSV it was written beside, so hand-edited or stale baselines
-silently fall back to the tuple path instead of resurrecting old codes.
+types (:func:`repro.model.io.parse_dim_value`).  Non-finite measures are
+encoded as the strings ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"`` so
+the file stays strict JSON (no bare ``NaN`` tokens external tooling
+would choke on).
+
+A sidecar is only trusted when two independent checks pass:
+``csv_sha256`` hashes the companion CSV file's bytes, so a sidecar
+written beside different CSV content is rejected; ``payload_sha256``
+hashes the sidecar's own dims/codes/measures, so a corrupted or
+hand-edited sidecar that kept a valid ``csv_sha256`` is rejected too.
+On attach the decoded measure column is additionally verified
+value-for-value against the cube's rows and rebound to the cube's own
+float objects, preserving the store invariant that measures are the
+exact objects the cube holds (NaN retraction matches by identity).
+Anything that fails silently falls back to the tuple path and the next
+chase rebuilds the columns.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from ..model.cube import Cube, CubeSchema
 from ..model.io import parse_dim_value
@@ -43,7 +57,7 @@ __all__ = [
     "attach_store_sidecar",
 ]
 
-SIDECAR_FORMAT = 1
+SIDECAR_FORMAT = 2
 
 
 def _file_sha256(path: Path) -> Optional[str]:
@@ -51,6 +65,32 @@ def _file_sha256(path: Path) -> Optional[str]:
         return hashlib.sha256(path.read_bytes()).hexdigest()
     except OSError:
         return None
+
+
+def _encode_measure(value: float) -> Any:
+    """A strict-JSON form of one measure (non-finite -> string)."""
+    if math.isfinite(value):
+        return value
+    if value != value:
+        return "NaN"
+    return "Infinity" if value > 0 else "-Infinity"
+
+
+def _payload_sha256(payload: Dict[str, Any]) -> str:
+    """Content hash of the sidecar's own data fields.
+
+    Computed over a canonical serialization of everything except the
+    hash field itself, so a corrupted or hand-edited sidecar cannot
+    pass verification just because its ``csv_sha256`` still matches
+    the companion CSV.
+    """
+    blob = json.dumps(
+        {key: payload[key] for key in sorted(payload) if key != "payload_sha256"},
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def sidecar_path_for(baseline_dir: Union[str, Path], name: str) -> Path:
@@ -85,10 +125,11 @@ def write_store_sidecar(
             }
             for j in range(store.arity - 1)
         ],
-        "measures": store.measures,
+        "measures": [_encode_measure(value) for value in store.measures],
     }
+    payload["payload_sha256"] = _payload_sha256(payload)
     sidecar_path.parent.mkdir(parents=True, exist_ok=True)
-    sidecar_path.write_text(json.dumps(payload))
+    sidecar_path.write_text(json.dumps(payload, allow_nan=False))
     return True
 
 
@@ -98,7 +139,8 @@ def read_store_sidecar(
     sidecar_path: Union[str, Path],
 ) -> Optional[ColumnStore]:
     """Rebuild a :class:`ColumnStore` from a sidecar, or None when the
-    sidecar is absent, malformed, or stale against the CSV file."""
+    sidecar is absent, malformed, corrupted, or stale against the CSV
+    file."""
     try:
         payload = json.loads(Path(sidecar_path).read_text())
     except (OSError, ValueError):
@@ -111,6 +153,11 @@ def read_store_sidecar(
         return None
     digest = _file_sha256(Path(csv_path))
     if digest is None or payload.get("csv_sha256") != digest:
+        return None
+    try:
+        if payload.get("payload_sha256") != _payload_sha256(payload):
+            return None
+    except (TypeError, ValueError):
         return None
     dims = payload.get("dims")
     measures = payload.get("measures")
@@ -150,12 +197,24 @@ def attach_store_sidecar(
 ) -> bool:
     """Attach a persisted columnar store to ``cube`` when it matches.
 
-    The store is only adopted when the sidecar verifies against the CSV
-    *and* its row count matches the cube — otherwise the cube keeps its
-    lazy tuple path and the next chase rebuilds the columns.
+    The store is only adopted when the sidecar verifies against both
+    the CSV and its own payload hash, its row count matches the cube,
+    and its decoded measure column equals the cube's measures row for
+    row (NaN matching NaN) — otherwise the cube keeps its lazy tuple
+    path and the next chase rebuilds the columns.  Matching measures
+    are rebound to the cube's own float objects, so sidecar-restored
+    NaN rows keep the object-identity retraction semantics of a store
+    built directly from the cube.
     """
     store = read_store_sidecar(cube.schema, csv_path, sidecar_path)
     if store is None or store.n_rows != len(cube):
         return False
+    rebound = []
+    for decoded, row in zip(store.measures, cube.to_rows()):
+        original = row[-1]
+        if decoded != original and not (decoded != decoded and original != original):
+            return False
+        rebound.append(original)
+    store.measures = rebound
     cube._colstore = store
     return True

@@ -67,6 +67,28 @@ def default_fallback_chains() -> Dict[str, Tuple[str, ...]]:
     }
 
 
+def _store_matches_rows(store, cube: Cube) -> bool:
+    """True when ``store``'s insertion order is exactly ``cube``'s
+    ``to_rows()`` order (measures pairwise equal, NaN matching NaN by
+    identity so retraction semantics survive the attach).
+
+    A columnar store's insertion order becomes the enumeration order of
+    every consumer that adopts it — chase relation views, baseline CSV
+    writing — so attaching a content-equal store with a *different* row
+    order would make warm runs emit differently-ordered baselines than
+    cold runs (CSV churn, sidecar invalidation noise).
+    """
+    if store.n_rows != len(cube):
+        return False
+    for fact, row in zip(store.rows(), cube.to_rows()):
+        if fact[:-1] != row[:-1]:
+            return False
+        a, b = fact[-1], row[-1]
+        if a is not b and a != b:
+            return False
+    return True
+
+
 class Dispatcher:
     """Executes translated subgraphs against their target engines."""
 
@@ -394,10 +416,19 @@ class Dispatcher:
                     # the fresh cube's columnar store onto it when the
                     # stored one has none (e.g. a CSV re-admitted
                     # baseline), so later runs adopt instead of
-                    # re-encoding — content is delta-identical
+                    # re-encoding — but only when the store's insertion
+                    # order matches the stored cube's rows exactly:
+                    # content is delta-identical, yet a different row
+                    # order would leak into everything that enumerates
+                    # the adopted store (baseline CSVs, relation views)
+                    # and make warm and cold runs diverge
                     stored = self.catalog.data(name)
                     if getattr(stored, "_colstore", None) is None:
-                        stored._colstore = getattr(cube, "_colstore", None)
+                        fresh = getattr(cube, "_colstore", None)
+                        if fresh is not None and _store_matches_rows(
+                            fresh, stored
+                        ):
+                            stored._colstore = fresh
                 else:
                     versions[name] = self.catalog.store.put(cube)
                     tuples += len(cube)

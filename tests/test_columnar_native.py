@@ -23,8 +23,13 @@ from contextlib import contextmanager
 import pytest
 
 import repro.chase.instance as instance_mod
+from repro.backends import ChaseBackend
 from repro.chase import RelationalInstance, StratifiedChase, instance_from_cubes
+from repro.chase.colstore import ColumnStore, TupleStore
+from repro.chase.columnar import ColumnarRelation
+from repro.chase.delta import DeltaChase
 from repro.chase.persist import (
+    _payload_sha256,
     attach_store_sidecar,
     read_store_sidecar,
     sidecar_path_for,
@@ -32,11 +37,15 @@ from repro.chase.persist import (
 )
 from repro.cli import main as cli_main
 from repro.engine import EXLEngine, FaultPlan, FaultRule
+from repro.engine.dispatcher import _store_matches_rows
 from repro.errors import ReproError
 from repro.exl import Program
 from repro.mappings import generate_mapping
 from repro.model import Cube
-from repro.model.io import write_cube_csv
+from repro.model.cube import CubeSchema, Dimension
+from repro.model.io import read_cube_csv, write_cube_csv
+from repro.model.schema import Schema
+from repro.model.types import STRING
 from repro.workloads import gdp_example, random_workload
 
 SEEDS = range(50)
@@ -351,6 +360,187 @@ class TestViewIsolation:
         assert list(clone.facts("R")) == [("a", 1.0), ("b", 2.0)]
 
 
+class TestMutationCacheInvalidation:
+    """Net-zero churn — retract *k* facts, assert *k* new ones, the
+    exact shape the delta splice produces for update-only revisions —
+    restores the row count but not the content.  Every cached
+    derivation (columnar image, fingerprint) must notice; regression
+    for caches that were keyed on ``len(facts)`` and so survived the
+    churn stale."""
+
+    def _encoded(self, store):
+        image = ColumnarRelation.from_facts(list(store.rows()), 2)
+        store.set_image(image)
+        return image
+
+    def test_tuple_store_image_invalidated_by_net_zero_churn(self):
+        store = TupleStore()
+        for fact in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+            store.add(fact)
+        image = self._encoded(store)
+        assert store.cached_image() is image
+        assert store.remove([("a", 1.0)]) == 1
+        assert store.add(("a", 9.0))
+        assert store.n_rows == 3  # same length, different content
+        assert store.cached_image() is None
+
+    def test_tuple_store_image_invalidated_by_removal_alone(self):
+        store = TupleStore()
+        store.add(("a", 1.0))
+        store.add(("b", 2.0))
+        self._encoded(store)
+        store.remove([("b", 2.0)])
+        assert store.cached_image() is None
+
+    def test_tuple_store_fingerprint_tracks_net_zero_churn(self):
+        store = TupleStore()
+        for fact in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+            store.add(fact)
+        before = store.fingerprint()
+        store.remove([("a", 1.0)])
+        store.add(("a", 9.0))
+        fresh = TupleStore()
+        for fact in store.facts:
+            fresh.add(fact)
+        assert store.fingerprint() == fresh.fingerprint()
+        assert store.fingerprint() != before
+
+    def test_tuple_store_fork_keeps_caches_coherent(self):
+        store = TupleStore()
+        store.add(("a", 1.0))
+        store.add(("b", 2.0))
+        image = self._encoded(store)
+        fp = store.fingerprint()
+        clone = store.fork()
+        assert clone.cached_image() is image
+        assert clone.fingerprint() == fp
+        clone.remove([("a", 1.0)])
+        clone.add(("a", 5.0))
+        assert clone.cached_image() is None
+        assert clone.fingerprint() != fp
+        # the donor is untouched
+        assert store.cached_image() is image
+        assert store.fingerprint() == fp
+
+    @pytest.mark.parametrize("forced", [False, True])
+    def test_instance_image_reflects_net_zero_churn(self, forced):
+        with _tuple_view(forced):
+            instance = RelationalInstance()
+            for fact in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+                instance.add("R", fact)
+            instance.columnar_image("R", 2)  # caches on either layout
+            # first churn demotes a native relation to the tuple store
+            instance.remove_batch("R", [("a", 1.0)])
+            instance.add("R", ("d", 4.0))
+            instance.columnar_image("R", 2)  # caches on the tuple store
+            # second churn is net-zero *on the tuple store*
+            instance.remove_batch("R", [("b", 2.0)])
+            instance.add("R", ("e", 5.0))
+            image = instance.columnar_image("R", 2)
+            rows = sorted(
+                zip(image.dims[0].decode_list(), image.measures.tolist())
+            )
+            assert rows == [("c", 3.0), ("d", 4.0), ("e", 5.0)]
+
+    @pytest.mark.parametrize("forced", [False, True])
+    def test_instance_fingerprint_reflects_net_zero_churn(self, forced):
+        with _tuple_view(forced):
+            instance = RelationalInstance()
+            for fact in [("a", 1.0), ("b", 2.0)]:
+                instance.add("R", fact)
+            before = instance.fingerprint("R")
+            instance.remove_batch("R", [("a", 1.0)])
+            instance.add("R", ("a", 9.0))
+            fresh = RelationalInstance()
+            for fact in instance.facts("R"):
+                fresh.add("R", fact)
+            assert instance.fingerprint("R") == fresh.fingerprint("R")
+            assert instance.fingerprint("R") != before
+
+    def test_net_zero_splice_then_full_recompute_reads_live_operands(self):
+        """The review scenario end to end: two successive update-only
+        revisions, with the target tgd forced onto the full-recompute
+        fallback (the one delta path that re-reads whole operand
+        images).  The second update's recompute must see the second
+        revision's operand content, not a stale image cached during
+        the first update at the same row count."""
+        a_schema = CubeSchema("A", [Dimension("r", STRING)], "v")
+        schema = Schema([a_schema], "src")
+        program = Program.compile("Z := A * 2\n", schema)
+        mapping = generate_mapping(program)
+
+        def data(values):
+            cube = Cube(a_schema)
+            for key, value in values.items():
+                cube.set((key,), value)
+            return {"A": cube}
+
+        backend = ChaseBackend(capture_deltas=True)
+        backend.run_mapping(mapping, data({"a": 1.0, "b": 2.0, "c": 3.0}))
+        snapshot = backend._snapshot_for(mapping)
+        chase = DeltaChase(snapshot, vectorized=True)
+        (tgd,) = [t for t in mapping.target_tgds if t.target_relation == "Z"]
+        chase._plans[id(tgd)] = (None, "forced-fallback-for-test")
+        snapshot.chaser = chase
+        backend.run_mapping_delta(
+            mapping, data({"a": 10.0, "b": 2.0, "c": 3.0})
+        )
+        final = data({"a": 10.0, "b": 20.0, "c": 3.0})
+        result = backend.run_mapping_delta(mapping, final)
+        expected = ChaseBackend().run_mapping(mapping, final)
+        assert result.cubes["Z"].delta(expected["Z"]).is_empty, (
+            "full-recompute fallback read a stale operand image"
+        )
+
+
+class TestCleanPathStoreAdoption:
+    """The dispatcher only carries a fresh output's columnar store onto
+    a delta-identical stored cube when the store's insertion order is
+    the stored cube's row order — otherwise warm runs would enumerate
+    (and persist) the same content in a different order than cold
+    runs."""
+
+    def _store(self, rows):
+        store = ColumnStore(2)
+        for row in rows:
+            store.add(row)
+        return store
+
+    def _cube(self, rows):
+        schema = CubeSchema("C", [Dimension("r", STRING)], "v")
+        return Cube.from_rows(schema, rows)
+
+    def test_same_order_matches(self):
+        rows = [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+        assert _store_matches_rows(self._store(rows), self._cube(rows))
+
+    def test_reordered_content_does_not_match(self):
+        rows = [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+        store = self._store([rows[1], rows[0], rows[2]])
+        assert not _store_matches_rows(store, self._cube(rows))
+
+    def test_row_count_mismatch_does_not_match(self):
+        rows = [("a", 1.0), ("b", 2.0)]
+        assert not _store_matches_rows(
+            self._store(rows[:1]), self._cube(rows)
+        )
+
+    def test_different_measure_does_not_match(self):
+        store = self._store([("a", 1.0), ("b", 2.5)])
+        assert not _store_matches_rows(
+            store, self._cube([("a", 1.0), ("b", 2.0)])
+        )
+
+    def test_nan_measures_match_only_by_identity(self):
+        shared = float("nan")
+        rows = [("a", 1.0), ("b", shared)]
+        assert _store_matches_rows(self._store(rows), self._cube(rows))
+        # a *different* NaN object breaks retraction-by-identity on the
+        # adopted store, so it must not be attached
+        other = [("a", 1.0), ("b", float("nan"))]
+        assert not _store_matches_rows(self._store(other), self._cube(rows))
+
+
 class TestSidecarPersistence:
     """Dictionaries and key codes survive to disk next to the baseline
     CSVs, guarded by the CSV content hash."""
@@ -394,6 +584,86 @@ class TestSidecarPersistence:
         payload["measures"] = payload["measures"][:-1]
         sidecar.write_text(json.dumps(payload))
         assert read_store_sidecar(cube.schema, csv_path, sidecar) is None
+
+    @requires_native
+    def test_value_tampered_sidecar_fails_payload_hash(self, tmp_path):
+        # editing a value while keeping csv_sha256 valid must be caught
+        # by the sidecar's own content hash — the CSV hash only ties
+        # the sidecar to the companion file, not to its own payload
+        cube = self._cube()
+        csv_path = tmp_path / "PDR.csv"
+        write_cube_csv(cube, csv_path)
+        sidecar = sidecar_path_for(tmp_path, "PDR")
+        assert write_store_sidecar(cube, csv_path, sidecar)
+        payload = json.loads(sidecar.read_text())
+        payload["measures"][0] = payload["measures"][0] + 1.0
+        sidecar.write_text(json.dumps(payload))
+        assert read_store_sidecar(cube.schema, csv_path, sidecar) is None
+
+    @requires_native
+    def test_divergent_measures_rejected_even_with_valid_hashes(
+        self, tmp_path
+    ):
+        # a sidecar that is internally consistent (payload hash
+        # recomputed) but whose measures diverge from the cube must
+        # still not be attached: attach verifies row for row
+        cube = self._cube()
+        csv_path = tmp_path / "PDR.csv"
+        write_cube_csv(cube, csv_path)
+        sidecar = sidecar_path_for(tmp_path, "PDR")
+        assert write_store_sidecar(cube, csv_path, sidecar)
+        payload = json.loads(sidecar.read_text())
+        payload["measures"][0] = payload["measures"][0] + 1.0
+        payload["payload_sha256"] = _payload_sha256(payload)
+        sidecar.write_text(json.dumps(payload))
+        assert read_store_sidecar(cube.schema, csv_path, sidecar) is not None
+        assert not attach_store_sidecar(cube.copy(), csv_path, sidecar)
+
+    @requires_native
+    def test_nonfinite_measures_stay_strict_json(self, tmp_path):
+        schema = CubeSchema("NF", [Dimension("r", STRING)], "v")
+        cube = Cube(schema)
+        cube.set(("a",), 1.5)
+        cube.set(("b",), float("nan"))
+        cube.set(("c",), float("inf"))
+        cube.set(("d",), float("-inf"))
+        csv_path = tmp_path / "nf.csv"
+        write_cube_csv(cube, csv_path)
+        sidecar = sidecar_path_for(tmp_path, "NF")
+        assert write_store_sidecar(cube, csv_path, sidecar)
+        # strict JSON: no bare NaN/Infinity tokens for external tooling
+        json.loads(
+            sidecar.read_text(),
+            parse_constant=lambda token: pytest.fail(
+                f"sidecar contains non-strict JSON token {token!r}"
+            ),
+        )
+        restored = read_store_sidecar(schema, csv_path, sidecar)
+        assert restored is not None
+        values = restored.measures
+        assert values[0] == 1.5
+        assert values[1] != values[1]
+        assert values[2] == float("inf")
+        assert values[3] == float("-inf")
+
+    @requires_native
+    def test_attach_rebinds_measures_to_the_cubes_objects(self, tmp_path):
+        # the store invariant: measures are the exact float objects the
+        # cube holds, so NaN retraction matches by identity even on a
+        # sidecar-restored store
+        schema = CubeSchema("NF", [Dimension("r", STRING)], "v")
+        cube = Cube(schema)
+        cube.set(("a",), 2.5)
+        cube.set(("b",), float("nan"))
+        csv_path = tmp_path / "nf.csv"
+        write_cube_csv(cube, csv_path)
+        sidecar = sidecar_path_for(tmp_path, "NF")
+        assert write_store_sidecar(cube, csv_path, sidecar)
+        reread = read_cube_csv(schema, csv_path)
+        assert attach_store_sidecar(reread, csv_path, sidecar)
+        store = reread._colstore
+        for measure, row in zip(store.measures, reread.to_rows()):
+            assert measure is row[-1]
 
     def test_forced_tuple_view_writes_no_sidecar(self, tmp_path):
         cube = self._cube()
