@@ -198,6 +198,96 @@ def test_cache_skips_unchanged_strata(wide):
     assert warm_s < cold_s
 
 
+def _cpu_bound_workload():
+    """The wide DAG again, but pure Python compute instead of sleeps.
+
+    Same 8×4 shape as :func:`_wide_workload`, with the simulated
+    engine round-trip replaced by an arithmetic-heavy scalar operator
+    that holds the GIL throughout.  Thread workers cannot overlap
+    that, which is exactly the ceiling the sharded chase exists to
+    break (see ``bench_sharded_chase.py``).
+    """
+    registry = default_registry()
+
+    def grind(value):
+        for _ in range(256):
+            value = value * 1.0000001 + 1e-9
+        return value
+
+    registry.register(
+        OperatorSpec(
+            "grind",
+            OpKind.SCALAR,
+            grind,
+            (),
+            frozenset({"chase"}),
+            "GIL-holding arithmetic transform",
+        )
+    )
+    schema = Schema(
+        [CubeSchema("S", [Dimension("m", TIME(Frequency.MONTH))], "v")]
+    )
+    lines = []
+    for chain in range(1, CHAINS + 1):
+        previous = "S"
+        for level in range(1, DEPTH + 1):
+            name = f"C{chain}x{level}"
+            lines.append(f"{name} := grind({previous})")
+            previous = name
+    program = Program.compile("\n".join(lines), schema, registry)
+    mapping = generate_mapping(program)
+    data = {
+        "S": random_cube(
+            schema["S"],
+            {"m": [month(2019, 1) + i for i in range(2000)]},
+            seed=7,
+        )
+    }
+    return mapping, instance_from_cubes(data)
+
+
+def test_gil_ceiling_on_cpu_bound_chase(bench_report):
+    """Threads do NOT scale pure-Python chase work: the same wide DAG
+    that shows ≥2.5× wave overlap on blocking strata shows ~1× when
+    every stratum holds the GIL.  Recorded *without* a ``floor`` key —
+    this entry documents the ceiling, it does not gate CI; the
+    process-based escape hatch is measured in ``bench_sharded_chase``.
+    """
+    mapping, source = _cpu_bound_workload()
+    sequential_chase = StratifiedChase(mapping, vectorized=False)
+    parallel_chase = ParallelStratifiedChase(
+        mapping, max_workers=4, vectorized=False
+    )
+    sequential = sequential_chase.run(source)
+    parallel = parallel_chase.run(source)
+    for relation in sequential.instance.relations():
+        assert sequential.instance.facts(relation) == parallel.instance.facts(
+            relation
+        )
+    seq_s = _wall(lambda: sequential_chase.run(source), repeats=1)
+    par_s = _wall(lambda: parallel_chase.run(source), repeats=1)
+    speedup = seq_s / par_s
+    bench_report.record(
+        "parallel_chase",
+        "gil_ceiling_cpu_bound",
+        {
+            "chains": CHAINS,
+            "depth": DEPTH,
+            "sequential_s": round(seq_s, 4),
+            "threads_s": round(par_s, 4),
+            "speedup": round(speedup, 2),
+            "note": "CPU-bound strata: thread waves cannot beat the GIL",
+        },
+    )
+    print(
+        f"\ncpu-bound sequential {seq_s:.2f}s  threads(jobs=4) "
+        f"{par_s:.2f}s  speedup {speedup:.2f}x (GIL ceiling)"
+    )
+    # threads must neither scale CPU-bound work (no GIL miracle) nor
+    # collapse under contention; both bounds are generous for noise
+    assert 0.5 <= speedup <= 1.6
+
+
 def test_parallel_chase_scaling_report(benchmark, wide):
     """pytest-benchmark record of the parallel configuration."""
     mapping, source = wide

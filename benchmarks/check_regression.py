@@ -8,9 +8,12 @@ below its floor.
 The floors are deliberately looser than the speedups measured on a
 quiet machine (scalar 6.6x -> floor 5x, aggregation 5.0x -> floor 3x,
 wave overlap 3.9x -> floor 2.5x, incremental delta update 25x ->
-floor 5x): the gate catches real regressions — a de-vectorized
-kernel, a serialized wave, a delta rule degraded to full recompute —
-without flaking on shared CI runners.
+floor 5x, sharded chase 2.5x at >=4 cores — the sharded bench records
+a host-adaptive floor alongside its measurement, so the same gate
+holds on any runner): the gate catches real regressions — a
+de-vectorized kernel, a serialized wave, a delta rule degraded to
+full recompute, a shard merge gone quadratic — without flaking on
+shared CI runners.
 
 Usage::
 

@@ -9,7 +9,8 @@ translation computes the same solution the chase does.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..chase.delta import (
     DeltaChase,
@@ -22,6 +23,7 @@ from ..chase.delta import (
 from ..chase.engine import StratifiedChase
 from ..chase.instance import RelationalInstance, store_for_cube
 from ..chase.scheduler import ChaseCache, ParallelStratifiedChase
+from ..chase.shard import ShardedStratifiedChase, resolve_shards
 from ..errors import BackendError
 from ..mappings.dependencies import Tgd
 from ..mappings.mapping import SchemaMapping
@@ -74,10 +76,14 @@ class ChaseBackend(Backend):
         tracer=None,
         metrics=None,
         capture_deltas: bool = False,
+        shards: int = 1,
     ):
         self.parallel = parallel
         self.max_workers = max_workers
         self.cache = cache
+        #: worker-process count for whole-mapping runs (0 = one per
+        #: core, 1 = no sharding); see chase.shard
+        self.shards = shards
         #: columnar kernels on/off (``None`` = engine default, i.e. on)
         self.vectorized = vectorized
         #: observability sinks threaded into every chase this backend
@@ -94,7 +100,15 @@ class ChaseBackend(Backend):
         self.vectorized_tgds = 0
         self.fallback_tgds = 0
         self.fallback_reasons: Dict[str, int] = {}
+        # sharded-run accounting, accumulated like the kernel counters
+        # (the engine diffs before/after each dispatch for RunRecord)
+        self.shard_runs = 0
+        self.shard_tuples: List[int] = []
+        self.shard_merge_s = 0.0
         self._kernel_lock = threading.Lock()
+        # the dispatcher's fault plan for the in-flight attempt, scoped
+        # per dispatcher thread so shard workers can honor `--inject-faults`
+        self._fault_ctx = threading.local()
         # snapshots keyed by mapping identity — sound because the
         # translation engine caches TranslatedSubgraph per (cubes,
         # target), so the same subgraph reuses one mapping object (and
@@ -113,6 +127,39 @@ class ChaseBackend(Backend):
                         self.fallback_reasons.get(reason, 0) + 1
                     )
 
+    # -- fault-injection plumbing ---------------------------------------------
+    @contextmanager
+    def fault_scope(self, plan, target: str, cubes, attempt: int):
+        """Expose the dispatcher's fault plan to sharded chase runs.
+
+        The dispatcher wraps each backend attempt in this scope; a
+        sharded run then draws one deterministic fault decision per
+        shard (cube label ``shard:<i>`` appended, so shards fail
+        independently but reproducibly).
+        """
+        self._fault_ctx.value = (plan, target, tuple(cubes), attempt)
+        try:
+            yield
+        finally:
+            self._fault_ctx.value = None
+
+    def _shard_fault_hook(self):
+        context = getattr(self._fault_ctx, "value", None)
+        if context is None:
+            return None
+        plan, target, cubes, attempt = context
+        metrics = self.metrics
+
+        def hook(shard_index: int) -> None:
+            plan.apply(
+                target,
+                cubes + (f"shard:{shard_index}",),
+                attempt,
+                metrics=metrics,
+            )
+
+        return hook
+
     def run_mapping(
         self,
         mapping: SchemaMapping,
@@ -120,7 +167,13 @@ class ChaseBackend(Backend):
         wanted: Optional[Iterable[str]] = None,
         check: Optional[Callable[[], None]] = None,
     ) -> Dict[str, Cube]:
-        if not self.parallel and self.cache is None and not self.capture_deltas:
+        shards = resolve_shards(self.shards)
+        if (
+            not self.parallel
+            and self.cache is None
+            and not self.capture_deltas
+            and shards <= 1
+        ):
             return super().run_mapping(mapping, inputs, wanted, check=check)
         # the scheduler path runs whole strata at once; the cooperative
         # deadline check fires once up front (coarser than per-unit,
@@ -139,7 +192,19 @@ class ChaseBackend(Backend):
             if store is not None and source.adopt(name, store) is not None:
                 continue
             source.add_all(name, inputs[name].to_rows())
-        if self.parallel:
+        if shards > 1:
+            chase = ShardedStratifiedChase(
+                mapping,
+                max_workers=self.max_workers if self.parallel else 1,
+                shards=shards,
+                cache=self.cache,
+                vectorized=self.vectorized,
+                kernel_hook=self._on_kernel,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                fault_hook=self._shard_fault_hook(),
+            )
+        elif self.parallel:
             chase = ParallelStratifiedChase(
                 mapping,
                 max_workers=self.max_workers,
@@ -159,6 +224,14 @@ class ChaseBackend(Backend):
                 metrics=self.metrics,
             )
         result = chase.run(source)
+        if result.stats.shards:
+            with self._kernel_lock:
+                self.shard_runs += 1
+                self.shard_merge_s += result.stats.shard_merge_s
+                for i, count in enumerate(result.stats.shard_tuples):
+                    if i >= len(self.shard_tuples):
+                        self.shard_tuples.append(0)
+                    self.shard_tuples[i] += count
         if wanted is None:
             wanted = [
                 t.target_relation

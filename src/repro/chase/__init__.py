@@ -19,6 +19,7 @@ from .scheduler import (
     schedule_waves,
     stratum_dag,
 )
+from .shard import ShardedStratifiedChase, ShardPlan, resolve_shards, shard_of
 from .verify import check_egds, check_tgd, is_solution, violations
 
 __all__ = [
@@ -31,6 +32,10 @@ __all__ = [
     "cubes_from_instance",
     "StratifiedChase",
     "ParallelStratifiedChase",
+    "ShardedStratifiedChase",
+    "ShardPlan",
+    "resolve_shards",
+    "shard_of",
     "ChaseCache",
     "ChaseResult",
     "ChaseStats",

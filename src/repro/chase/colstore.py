@@ -275,6 +275,112 @@ class ColumnStore:
         self._fp_rows = -1
         return n
 
+    # -- cross-process transport -------------------------------------------------
+    def extend_from(self, other: "ColumnStore") -> int:
+        """Append every row of ``other`` (dictionary codes remapped).
+
+        The bulk concatenation path of the sharded chase merge: shard
+        outputs arrive as whole stores and are spliced into one store
+        without building fact tuples.  The caller is responsible for
+        key-distinctness bookkeeping — ``dims_distinct`` is cleared
+        because rows from different shards may in principle collide.
+        Returns the rows appended.
+        """
+        if other.arity != self.arity:
+            raise ValueError(
+                f"cannot extend arity-{self.arity} store from "
+                f"arity-{other.arity} store"
+            )
+        n = other.n_rows
+        if n == 0:
+            return 0
+        for j in range(self.arity - 1):
+            vm = self.vmaps[j]
+            dct = self.dicts[j]
+            lut = np.empty(max(len(other.dicts[j]), 1), dtype=_INT)
+            identity = True
+            for code, value in enumerate(other.dicts[j]):
+                mapped = vm.get(value)
+                if mapped is None:
+                    mapped = len(dct)
+                    vm[value] = mapped
+                    dct.append(value)
+                lut[code] = mapped
+                identity = identity and mapped == code
+            ocodes = other.codes[j]
+            if identity:
+                self.codes[j].extend(ocodes)
+            else:
+                self.codes[j].extend(
+                    lut[np.asarray(ocodes, dtype=_INT)].tolist()
+                )
+        self.measures.extend(other.measures)
+        self.dims_distinct = False
+        self._members = None
+        self._view = None
+        self._view_rows = 0
+        self._image = None
+        self._image_rows = -1
+        self._fp = None
+        self._fp_rows = -1
+        return n
+
+    def __getstate__(self):
+        """Pickle only the primary buffers, never the derived caches.
+
+        The buffers are reshaped for transport, not dumped verbatim —
+        a shard returns hundreds of thousands of rows and pickling
+        them as Python ``int`` lists dominates the merge:
+
+        * code columns ship as ``int64`` arrays (raw-buffer pickle,
+          ~10× cheaper than list-of-int both directions);
+        * an all-finite measure column ships as a ``float64`` array —
+          finite floats carry no identity semantics, so value-faithful
+          transport is behaviour-faithful; any non-finite value falls
+          back to the object list, where pickle memoization preserves
+          NaN identity (tuple-equality short-circuit on ``is``) across
+          the process hop;
+        * vmaps are derived (dictionary inverted) and are rebuilt on
+          receive rather than shipped.
+
+        Dictionaries are plain lists whose order pickle preserves, so
+        code assignment survives exactly.
+        """
+        measures = self.measures
+        if measures:
+            column = np.asarray(measures, dtype=np.float64)
+            if not np.isfinite(column).all():
+                column = measures
+        else:
+            column = measures
+        return {
+            "arity": self.arity,
+            "codes": [np.asarray(c, dtype=_INT) for c in self.codes],
+            "dicts": self.dicts,
+            "measures": column,
+            "dims_distinct": self.dims_distinct,
+        }
+
+    def __setstate__(self, state):
+        self.arity = state["arity"]
+        self.codes = [c.tolist() for c in state["codes"]]
+        self.dicts = state["dicts"]
+        self.vmaps = [
+            {value: code for code, value in enumerate(d)} for d in self.dicts
+        ]
+        measures = state["measures"]
+        if isinstance(measures, np.ndarray):
+            measures = measures.tolist()
+        self.measures = measures
+        self.dims_distinct = state["dims_distinct"]
+        self._members = None
+        self._view = None
+        self._view_rows = 0
+        self._image = None
+        self._image_rows = -1
+        self._fp = None
+        self._fp_rows = -1
+
     # -- bookkeeping -------------------------------------------------------------
     def fingerprint(self) -> int:
         """Order-independent content hash (cached per row count)."""
@@ -381,3 +487,20 @@ class TupleStore:
         clone._fp = self._fp
         clone._fp_mut = self._fp_mut
         return clone
+
+    def __getstate__(self):
+        """Pickle the fact dict only; derived caches rebuild on demand.
+
+        Fact tuples keep their original measure objects through pickle
+        memoization, so NaN-carrying facts can still be retracted by
+        identity after a worker-process hop.
+        """
+        return {"facts": self.facts}
+
+    def __setstate__(self, state):
+        self.facts = state["facts"]
+        self._mut = 0
+        self._image = None
+        self._image_mut = -1
+        self._fp = None
+        self._fp_mut = -1

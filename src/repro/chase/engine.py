@@ -61,6 +61,14 @@ class ChaseStats:
     fallback_tgds: int = 0
     # why each fallback happened (FallbackUnsupported reason -> count)
     fallback_reasons: Dict[str, int] = field(default_factory=dict)
+    # sharded execution (chase.shard): worker-process count, tuples
+    # generated per shard, wall time spent merging/re-reducing shard
+    # outputs, and why individual tgds ran in the parent instead of a
+    # shard.  All stay zero/empty outside ShardedStratifiedChase runs.
+    shards: int = 0
+    shard_tuples: List[int] = field(default_factory=list)
+    shard_merge_s: float = 0.0
+    shard_fallback_reasons: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass

@@ -150,6 +150,7 @@ def _build_engine(
     project: Project,
     parallel: bool = False,
     jobs: int = 4,
+    shards: int = 1,
     chase_cache: bool = True,
     vectorize: bool = True,
     tracer=None,
@@ -159,6 +160,7 @@ def _build_engine(
     engine = EXLEngine(
         parallel=parallel,
         jobs=jobs,
+        shards=shards,
         chase_cache=chase_cache,
         vectorize=vectorize,
         tracer=tracer,
@@ -319,6 +321,7 @@ def cmd_update(args) -> int:
         project,
         parallel=args.parallel,
         jobs=args.jobs,
+        shards=args.shards,
         chase_cache=not args.no_chase_cache,
         vectorize=not args.no_vectorize,
         backoff_s=args.backoff,
@@ -415,6 +418,7 @@ def cmd_run(args) -> int:
         project,
         parallel=args.parallel,
         jobs=args.jobs,
+        shards=args.shards,
         chase_cache=not args.no_chase_cache,
         vectorize=not args.no_vectorize,
         tracer=tracer,
@@ -474,6 +478,7 @@ def cmd_resume(args) -> int:
         project,
         parallel=args.parallel,
         jobs=args.jobs,
+        shards=args.shards,
         chase_cache=not args.no_chase_cache,
         vectorize=not args.no_vectorize,
         backoff_s=args.backoff,
@@ -552,6 +557,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             default=4,
             metavar="N",
             help="worker threads for parallel waves (default: 4)",
+        )
+        command.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for sharded chase execution: "
+            "elementary cubes are hash-partitioned on one dimension, "
+            "chased per shard, and merged through the egd-checking "
+            "insert (0 = one shard per CPU core, 1 = off; tuple-for-"
+            "tuple equivalent to unsharded runs)",
         )
         command.add_argument(
             "--no-chase-cache",

@@ -37,6 +37,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..chase.delta import DeltaRunResult
@@ -57,6 +58,9 @@ from .translation import TranslatedSubgraph
 __all__ = ["Dispatcher", "ON_ERROR_MODES", "default_fallback_chains"]
 
 ON_ERROR_MODES = ("fail", "continue", "degrade")
+
+# stateless, so one shared instance serves every dispatcher thread
+_NULL_SCOPE = nullcontext()
 
 
 def default_fallback_chains() -> Dict[str, Tuple[str, ...]]:
@@ -577,13 +581,22 @@ class Dispatcher:
                 self.fault_plan.apply(
                     target, cubes, attempt, metrics=self.metrics
                 )
-            if self.delta and hasattr(item.backend, "run_mapping_delta"):
-                return item.backend.run_mapping_delta(
+            # a backend that shards whole-mapping runs draws per-shard
+            # fault decisions from the same plan while this attempt is
+            # in flight (see ChaseBackend.fault_scope)
+            scope = getattr(item.backend, "fault_scope", None)
+            if self.fault_plan is not None and scope is not None:
+                context = scope(self.fault_plan, target, cubes, attempt)
+            else:
+                context = _NULL_SCOPE
+            with context:
+                if self.delta and hasattr(item.backend, "run_mapping_delta"):
+                    return item.backend.run_mapping_delta(
+                        item.mapping, inputs, wanted=list(cubes), check=check
+                    )
+                return item.backend.run_mapping(
                     item.mapping, inputs, wanted=list(cubes), check=check
                 )
-            return item.backend.run_mapping(
-                item.mapping, inputs, wanted=list(cubes), check=check
-            )
 
     def _degradation_enabled(self, item: TranslatedSubgraph) -> bool:
         return (

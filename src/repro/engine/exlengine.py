@@ -47,6 +47,7 @@ class EXLEngine:
         target_priority: Sequence[str] = DEFAULT_TARGET_PRIORITY,
         parallel: bool = False,
         jobs: int = 4,
+        shards: int = 1,
         chase_cache: bool = True,
         vectorize: Optional[bool] = None,
         tracer=None,
@@ -76,6 +77,9 @@ class EXLEngine:
         self.fault_plan = fault_plan
         #: worker threads for parallel waves (dispatcher and chase scheduler)
         self.jobs = max(1, int(jobs))
+        #: worker processes for sharded chase runs (0 = one per core,
+        #: 1 = sharding off); see repro.chase.shard
+        self.shards = max(0, int(shards))
         #: columnar chase kernels on/off (None = engine default, i.e. on)
         self.vectorize = vectorize
         #: span sink shared by the engine, dispatcher, and chase layers
@@ -92,6 +96,7 @@ class EXLEngine:
         if isinstance(chase_backend, ChaseBackend):
             chase_backend.parallel = parallel
             chase_backend.max_workers = self.jobs
+            chase_backend.shards = self.shards
             chase_backend.cache = self.chase_cache
             chase_backend.vectorized = vectorize
             chase_backend.tracer = self.tracer
@@ -436,6 +441,11 @@ class EXLEngine:
                 chase_backend.vectorized_tgds,
                 chase_backend.fallback_tgds,
             )
+            shards_before = (
+                chase_backend.shard_runs,
+                list(chase_backend.shard_tuples),
+                chase_backend.shard_merge_s,
+            )
         encode_before = self.metrics.value("chase.kernel.encode")
         dispatcher = Dispatcher(
             self.catalog,
@@ -479,6 +489,16 @@ class EXLEngine:
             record.fallback_tgds = (
                 chase_backend.fallback_tgds - kernels_before[1]
             )
+            if chase_backend.shard_runs > shards_before[0]:
+                before_tuples = shards_before[1]
+                record.shard_tuples = [
+                    count - (before_tuples[i] if i < len(before_tuples) else 0)
+                    for i, count in enumerate(chase_backend.shard_tuples)
+                ]
+                record.shards = len(record.shard_tuples)
+                record.shard_merge_s = (
+                    chase_backend.shard_merge_s - shards_before[2]
+                )
         record.encode_count = (
             self.metrics.value("chase.kernel.encode") - encode_before
         )

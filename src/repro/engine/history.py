@@ -120,6 +120,12 @@ class RunRecord:
     # run; stays 0 when every relation lived columnar-native (warm runs
     # adopt the cached stores and never pay the encode tax)
     encode_count: int = 0
+    # sharded chase execution (all zero/empty when --shards <= 1 or the
+    # mapping had nothing to partition): worker-process count, tuples
+    # generated per shard, and wall time merging shard outputs
+    shards: int = 0
+    shard_tuples: List[int] = field(default_factory=list)
+    shard_merge_s: float = 0.0
     # failure semantics the dispatch ran under (fail | continue | degrade)
     on_error: str = "fail"
     # run id this run resumed, when it was started by EXLEngine.resume
@@ -188,6 +194,9 @@ class RunRecord:
             "subgraphs": [s.to_json() for s in self.subgraphs],
             "waves": self.waves,
             "max_wave_width": self.max_wave_width,
+            "shards": self.shards,
+            "shard_tuples": list(self.shard_tuples),
+            "shard_merge_s": self.shard_merge_s,
             "on_error": self.on_error,
             "resumed_from": self.resumed_from,
             "delta_of": self.delta_of,
@@ -225,6 +234,11 @@ class RunRecord:
             f"{self.fallback_tgds} fallback, "
             f"{self.encode_count} re-encodes)"
         ]
+        if self.shards:
+            lines.append(
+                f"  sharded chase: {self.shards} shards, tuples per shard "
+                f"{self.shard_tuples}, merge {self.shard_merge_s * 1000:.1f}ms"
+            )
         for record in self.subgraphs:
             flags = ""
             if record.outcome != "ok":
@@ -277,6 +291,9 @@ class RunLog:
         ]
         record.waves = data.get("waves", 0)
         record.max_wave_width = data.get("max_wave_width", 0)
+        record.shards = data.get("shards", 0)
+        record.shard_tuples = list(data.get("shard_tuples", []))
+        record.shard_merge_s = data.get("shard_merge_s", 0.0)
         record.on_error = data.get("on_error", "fail")
         record.resumed_from = data.get("resumed_from")
         record.delta_of = data.get("delta_of")

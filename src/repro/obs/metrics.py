@@ -70,6 +70,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def absorb(self, count: int, total: float, minimum: float, maximum: float) -> None:
+        """Merge another histogram's running moments into this one."""
+        if not count:
+            return
+        with self._lock:
+            self.count += count
+            self.total += total
+            if minimum < self.min:
+                self.min = minimum
+            if maximum > self.max:
+                self.max = maximum
+
     def snapshot(self) -> Dict[str, float]:
         if not self.count:
             return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
@@ -116,6 +128,25 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
+
+    def absorb(self, snapshot: Dict[str, Any], prefix: str = "") -> None:
+        """Merge a :meth:`snapshot` from another registry into this one.
+
+        Used to fold shard-worker registries back into the parent,
+        namespaced (``prefix="chase.shard:<i>."``) so per-shard counts
+        stay distinguishable from the parent's own instruments.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            if value:
+                self.inc(prefix + name, value)
+        for name, moments in (snapshot.get("histograms") or {}).items():
+            if moments.get("count"):
+                self.histogram(prefix + name).absorb(
+                    moments["count"],
+                    moments["total"],
+                    moments["min"],
+                    moments["max"],
+                )
 
     # -- reading ------------------------------------------------------------
     def value(self, name: str) -> int:

@@ -219,6 +219,45 @@ class Tracer:
         with self._lock:
             self._finished.append(span)
 
+    def absorb(
+        self,
+        records: List[Dict[str, Any]],
+        parent: Optional[Span] = None,
+        offset: float = 0.0,
+    ) -> int:
+        """Import spans recorded by another tracer (a shard worker).
+
+        ``records`` are plain dicts (``id``/``parent``/``name``/
+        ``category``/``args``/``started``/``duration``) with ``started``
+        relative to the *worker's* epoch; ``offset`` places them on this
+        tracer's clock (seconds after this epoch when the worker phase
+        began).  Root records re-parent under ``parent``.  Records may
+        arrive in completion order — children before parents — so ids
+        are remapped in a first pass before any span is built.
+        """
+        if not records:
+            return 0
+        base = parent.span_id if parent is not None else None
+        idmap: Dict[Any, int] = {}
+        for record in records:
+            idmap[record["id"]] = next(self._ids)
+        imported: List[Span] = []
+        for record in records:
+            span = Span(
+                self,
+                idmap[record["id"]],
+                idmap.get(record.get("parent"), base),
+                record["name"],
+                record.get("category", "chase"),
+                dict(record.get("args") or {}),
+            )
+            span.started = self.epoch + offset + record["started"]
+            span.duration = record["duration"]
+            imported.append(span)
+        with self._lock:
+            self._finished.extend(imported)
+        return len(imported)
+
     # -- inspection ---------------------------------------------------------
     @property
     def spans(self) -> List[Span]:

@@ -28,6 +28,14 @@ def pytest_addoption(parser):
         help="worker threads for the parallel chase scheduler tests",
     )
     parser.addoption(
+        "--shards",
+        action="store",
+        type=int,
+        default=4,
+        help="worker processes for the sharded chase equivalence tests "
+        "(CI runs the sharded suite with 1 and with 4)",
+    )
+    parser.addoption(
         "--no-vectorize",
         action="store_true",
         default=False,
@@ -82,6 +90,12 @@ def pytest_configure(config):
 def chase_jobs(request) -> int:
     """Worker count under test (CI runs the suite with 1 and with 4)."""
     return request.config.getoption("--jobs")
+
+
+@pytest.fixture(scope="session")
+def chase_shards(request) -> int:
+    """Shard count under test (CI runs the sharded suite with 1 and 4)."""
+    return request.config.getoption("--shards")
 
 
 GDP_SOURCE = """\
