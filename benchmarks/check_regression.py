@@ -3,7 +3,10 @@
 Reads the unified benchmark report (the ``--bench-json`` output,
 written under ``benchmarks/results/``) and fails — exit status 1 — if
 any recorded entry with both a ``speedup`` and a ``floor`` key fell
-below its floor.
+below its floor, or any entry with both a ``value`` and a ``ceiling``
+key rose above its ceiling (ratios that must stay *small*: fault
+recovery overhead, resume-over-rerun cost, dirty-group refresh
+fraction).
 
 The floors are deliberately looser than the speedups measured on a
 quiet machine (scalar 6.6x -> floor 5x, aggregation 5.0x -> floor 3x,
@@ -33,33 +36,60 @@ from typing import Any, Dict, Iterator, List, Tuple
 def gated_entries(
     document: Dict[str, Any], prefix: str = ""
 ) -> Iterator[Tuple[str, Dict[str, Any]]]:
-    """Yield every ``(dotted.name, entry)`` carrying speedup + floor."""
+    """Yield every ``(dotted.name, entry)`` carrying a gate.
+
+    An entry is gated when it has ``speedup`` + ``floor`` (must stay at
+    or above) or ``value`` + ``ceiling`` (must stay at or below); one
+    entry may carry both kinds.
+    """
     for key, value in sorted(document.items()):
         if not isinstance(value, dict):
             continue
         name = f"{prefix}{key}"
-        if "speedup" in value and "floor" in value:
+        has_floor = "speedup" in value and "floor" in value
+        has_ceiling = "value" in value and "ceiling" in value
+        if has_floor or has_ceiling:
             yield name, value
         else:
             yield from gated_entries(value, prefix=f"{name}.")
 
 
 def check(document: Dict[str, Any]) -> List[str]:
-    """Return one violation line per below-floor entry (empty = pass)."""
+    """Return one violation line per out-of-bounds entry (empty = pass)."""
     violations = []
     found = False
     for name, entry in gated_entries(document):
         found = True
-        speedup = float(entry["speedup"])
-        floor = float(entry["floor"])
-        status = "ok" if speedup >= floor else "REGRESSION"
-        print(f"  {name:<40} speedup {speedup:>6.2f}x  floor {floor:>5.2f}x  {status}")
-        if speedup < floor:
-            violations.append(
-                f"{name}: speedup {speedup:.2f}x is below floor {floor:.2f}x"
+        if "speedup" in entry and "floor" in entry:
+            speedup = float(entry["speedup"])
+            floor = float(entry["floor"])
+            status = "ok" if speedup >= floor else "REGRESSION"
+            print(
+                f"  {name:<40} speedup {speedup:>6.2f}x  "
+                f"floor {floor:>5.2f}x  {status}"
             )
+            if speedup < floor:
+                violations.append(
+                    f"{name}: speedup {speedup:.2f}x is below floor "
+                    f"{floor:.2f}x"
+                )
+        if "value" in entry and "ceiling" in entry:
+            value = float(entry["value"])
+            ceiling = float(entry["ceiling"])
+            status = "ok" if value <= ceiling else "REGRESSION"
+            print(
+                f"  {name:<40} value   {value:>6.2f}   "
+                f"ceiling {ceiling:>4.2f}  {status}"
+            )
+            if value > ceiling:
+                violations.append(
+                    f"{name}: value {value:.2f} is above ceiling "
+                    f"{ceiling:.2f}"
+                )
     if not found:
-        violations.append("no gated entries (speedup+floor) found in report")
+        violations.append(
+            "no gated entries (speedup+floor or value+ceiling) found in report"
+        )
     return violations
 
 
@@ -85,7 +115,7 @@ def main(argv: List[str]) -> int:
         for line in violations:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print("\nall benchmarks at or above their floors")
+    print("\nall benchmarks within their floors and ceilings")
     return 0
 
 

@@ -75,6 +75,8 @@ __all__ = [
     "FallbackUnsupported",
     "apply_vectorized",
     "decode_facts",
+    "mix_codes",
+    "transform_encoded",
 ]
 
 _INT = np.int64
@@ -397,6 +399,13 @@ def _mix(parts: Sequence[np.ndarray], bases: Sequence[int], n: int) -> np.ndarra
         composite *= base
         composite += digits
     return composite
+
+
+#: public names for the key-building primitives the OLAP roll-up
+#: lattice shares with the aggregation kernel: per-distinct-value
+#: dictionary transforms and mixed-radix composite group codes
+transform_encoded = _transform_encoded
+mix_codes = _mix
 
 
 def _hash_join(left: np.ndarray, right: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

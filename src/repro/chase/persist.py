@@ -51,13 +51,20 @@ from .instance import store_for_cube
 
 __all__ = [
     "SIDECAR_FORMAT",
+    "OLAP_SIDECAR_FORMAT",
     "sidecar_path_for",
     "write_store_sidecar",
     "read_store_sidecar",
     "attach_store_sidecar",
+    "olap_sidecar_path_for",
+    "write_lattice_sidecar",
+    "attach_lattice_sidecar",
 ]
 
 SIDECAR_FORMAT = 2
+
+#: format tag of the OLAP lattice sidecars (``<out>/baseline/olap/``)
+OLAP_SIDECAR_FORMAT = 1
 
 
 def _file_sha256(path: Path) -> Optional[str]:
@@ -217,4 +224,158 @@ def attach_store_sidecar(
         rebound.append(original)
     store.measures = rebound
     cube._colstore = store
+    return True
+
+
+# -- OLAP lattice sidecars ----------------------------------------------------
+#
+# The same trust model as the columnar sidecars, applied to the roll-up
+# lattice (repro.olap.lattice): ``csv_sha256`` ties the sidecar to the
+# baseline CSV's bytes, ``payload_sha256`` to its own group data, and on
+# attach the node-key set must match the lattice the catalog *currently*
+# derives — a changed grouping declaration or aggregate silently misses
+# and the lattice rebuilds from the cube.  Group-key components are
+# serialized as tagged pairs so values round-trip with their exact
+# Python types (a time point never comes back as a string).
+
+
+def _encode_key_part(part: Any) -> Any:
+    from ..model.time import TimePoint
+
+    if isinstance(part, TimePoint):
+        return ["t", str(part)]
+    if isinstance(part, str):
+        return ["s", part]
+    if isinstance(part, bool):
+        raise ValueError("boolean group key")
+    if isinstance(part, int):
+        return ["i", part]
+    if isinstance(part, float):
+        return ["f", _encode_measure(part)]
+    raise ValueError(f"unserializable group key component {part!r}")
+
+
+def _decode_key_part(tagged: Any) -> Any:
+    from ..model.time import parse_timepoint
+
+    tag, value = tagged
+    if tag == "t":
+        return parse_timepoint(value)
+    if tag == "s":
+        return str(value)
+    if tag == "i":
+        return int(value)
+    if tag == "f":
+        return float(value)
+    raise ValueError(f"unknown group key tag {tag!r}")
+
+
+def olap_sidecar_path_for(baseline_dir: Union[str, Path], name: str) -> Path:
+    """Where the lattice sidecar for cube ``name`` lives."""
+    return Path(baseline_dir) / "olap" / f"{name}.json"
+
+
+def write_lattice_sidecar(
+    lattice, csv_path: Union[str, Path], sidecar_path: Union[str, Path]
+) -> bool:
+    """Persist a roll-up lattice's node groups beside the baseline CSV.
+
+    Returns False (removing any stale sidecar) when the lattice uses an
+    unregistered aggregate or holds group keys that do not round-trip
+    through JSON.
+    """
+    sidecar_path = Path(sidecar_path)
+    digest = _file_sha256(Path(csv_path))
+    if digest is None or lattice.agg_name is None:
+        sidecar_path.unlink(missing_ok=True)
+        return False
+    try:
+        nodes = [
+            {
+                "key": list(node.key),
+                "groups": [
+                    [
+                        [_encode_key_part(part) for part in key],
+                        _encode_measure(value),
+                    ]
+                    for key, value in node.groups.items()
+                ],
+            }
+            for node in lattice.nodes.values()
+        ]
+    except ValueError:
+        sidecar_path.unlink(missing_ok=True)
+        return False
+    payload = {
+        "format": OLAP_SIDECAR_FORMAT,
+        "cube": lattice.name,
+        "aggregate": lattice.agg_name,
+        "csv_sha256": digest,
+        "nodes": nodes,
+    }
+    payload["payload_sha256"] = _payload_sha256(payload)
+    sidecar_path.parent.mkdir(parents=True, exist_ok=True)
+    sidecar_path.write_text(json.dumps(payload, allow_nan=False))
+    return True
+
+
+def attach_lattice_sidecar(
+    lattice,
+    cube: Cube,
+    csv_path: Union[str, Path],
+    sidecar_path: Union[str, Path],
+    version: Optional[int] = None,
+) -> bool:
+    """Fill a freshly constructed lattice from a sidecar when it matches.
+
+    ``lattice`` must be an unbuilt :class:`repro.olap.CubeLattice`
+    derived from the *current* catalog; the sidecar is only adopted
+    when it verifies against the CSV and its own payload hash, names
+    the same aggregate, and covers exactly the node keys the lattice
+    derives.  On success the lattice is left in the same state a
+    :meth:`build` from ``cube`` would produce (the contribution
+    indexes stay lazy), so incremental refreshes work immediately.
+    """
+    try:
+        payload = json.loads(Path(sidecar_path).read_text())
+    except (OSError, ValueError):
+        return False
+    if not isinstance(payload, dict):
+        return False
+    if payload.get("format") != OLAP_SIDECAR_FORMAT:
+        return False
+    if payload.get("cube") != lattice.name:
+        return False
+    if payload.get("aggregate") != lattice.agg_name:
+        return False
+    digest = _file_sha256(Path(csv_path))
+    if digest is None or payload.get("csv_sha256") != digest:
+        return False
+    try:
+        if payload.get("payload_sha256") != _payload_sha256(payload):
+            return False
+    except (TypeError, ValueError):
+        return False
+    nodes = payload.get("nodes")
+    if not isinstance(nodes, list):
+        return False
+    decoded: Dict[tuple, Dict[tuple, float]] = {}
+    try:
+        for entry in nodes:
+            key = tuple(entry["key"])
+            decoded[key] = {
+                tuple(_decode_key_part(part) for part in group_key): float(
+                    value
+                )
+                for group_key, value in entry["groups"]
+            }
+    except (KeyError, TypeError, ValueError, OverflowError):
+        return False
+    if set(decoded) != set(lattice.nodes):
+        return False
+    for key, node in lattice.nodes.items():
+        node.groups = decoded[key]
+        node.invalidate()
+    lattice._base = cube
+    lattice.version = version
     return True

@@ -49,8 +49,11 @@ from typing import Any, Dict, List, Optional
 
 from .backends import all_backends
 from .chase.persist import (
+    attach_lattice_sidecar,
     attach_store_sidecar,
+    olap_sidecar_path_for,
     sidecar_path_for,
+    write_lattice_sidecar,
     write_store_sidecar,
 )
 from .engine import EXLEngine
@@ -59,8 +62,14 @@ from .errors import ReproError
 from .exl import Program
 from .mappings import generate_mapping, simplify_mapping
 from .model import Cube, CubeSchema, Dimension, Schema
-from .model.io import parse_dimtype, read_cube_csv, write_cube_csv
+from .model.io import (
+    parse_dim_value,
+    parse_dimtype,
+    read_cube_csv,
+    write_cube_csv,
+)
 from .obs import MetricsRegistry, Tracer
+from .olap import format_measure
 
 __all__ = ["main", "load_project"]
 
@@ -98,6 +107,9 @@ class Project:
             spec.get("preferred_targets", {})
         )
         self.outputs: Optional[List[str]] = spec.get("outputs")
+        # optional attribute groupings for the OLAP layer:
+        # {"CUBE": {"dim": {"level": {"base value": "group", ...}}}}
+        self.groupings: Dict[str, Any] = dict(spec.get("groupings", {}))
 
     @property
     def schema(self) -> Schema:
@@ -170,6 +182,21 @@ def _build_engine(
     for schema in project.schemas:
         engine.declare_elementary(schema)
     engine.add_program(project.program_source, project.preferred_targets)
+    for cube_name, dims in project.groupings.items():
+        for dim_name, levels in dims.items():
+            dtype = engine.catalog.schema_of(cube_name).dimension(dim_name).dtype
+            for level_name, mapping in levels.items():
+                # JSON object keys are strings; parse them back through
+                # the dimension type so integer dims group on integers
+                engine.catalog.declare_grouping(
+                    cube_name,
+                    dim_name,
+                    level_name,
+                    {
+                        parse_dim_value(dtype, key): value
+                        for key, value in mapping.items()
+                    },
+                )
     for cube in project.load_data().values():
         engine.load(cube)
     return engine
@@ -306,6 +333,12 @@ def _persist_baseline(engine, record, out_dir: Path) -> None:
         write_store_sidecar(
             engine.data(name), destination, sidecar_path_for(baseline_dir, name)
         )
+        if engine.olap is not None:
+            write_lattice_sidecar(
+                engine.olap.lattice(name),
+                destination,
+                olap_sidecar_path_for(baseline_dir, name),
+            )
         cubes[name] = destination.name
     baseline_file.write_text(
         json.dumps({"record": record.to_json(), "cubes": cubes}, indent=2)
@@ -517,6 +550,135 @@ def cmd_resume(args) -> int:
     return code
 
 
+def _parse_assignments(text: Optional[str], what: str) -> Dict[str, str]:
+    """``"a=x,b=y"`` -> ``{"a": "x", "b": "y"}``."""
+    out: Dict[str, str] = {}
+    if not text:
+        return out
+    for part in text.split(","):
+        if "=" not in part:
+            raise ReproError(f"bad {what} {part!r}: expected dim=value")
+        dim, _, value = part.partition("=")
+        out[dim.strip()] = value.strip()
+    return out
+
+
+def _level_value(lattice, dim: str, level_name: str, text: str):
+    """Parse one query value at the level ``dim`` is grouped at.
+
+    Typed levels (base and calendar levels) parse through the level's
+    dimension type; declared-grouping labels are opaque strings.
+    """
+    lvl = lattice.hierarchy(dim).level(level_name)
+    if lvl.dtype is not None:
+        return parse_dim_value(lvl.dtype, text)
+    return text
+
+
+def cmd_query(args) -> int:
+    project = load_project(args.project)
+    engine = _build_engine(project)
+    out_dir = Path(args.out)
+    baseline_dir, baseline_file = _baseline_paths(out_dir)
+    # re-admit the persisted baseline so derived cubes are queryable
+    # without re-running; elementary project CSVs are already loaded
+    cube_csvs: Dict[str, Path] = {}
+    if baseline_file.exists():
+        state = json.loads(baseline_file.read_text())
+        for name, rel_path in state.get("cubes", {}).items():
+            if name not in engine.catalog:
+                continue
+            path = baseline_dir / rel_path
+            cube = read_cube_csv(engine.catalog.schema_of(name), path)
+            attach_store_sidecar(
+                cube, path, sidecar_path_for(baseline_dir, name)
+            )
+            engine.catalog.store.put(cube)
+            cube_csvs[name] = path
+    name = args.cube
+    if name not in engine.catalog:
+        print(f"unknown cube {name!r}", file=sys.stderr)
+        return 2
+    if not engine.catalog.has_data(name):
+        print(
+            f"cube {name!r} has no data; run the project first: "
+            f"exl run {args.project} --out {out_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    service = engine.enable_olap(aggregate=args.agg)
+    # attach the persisted lattice so warm queries skip the group-by;
+    # a stale or missing sidecar just means one in-process build
+    csv_path = cube_csvs.get(name)
+    attached = False
+    if csv_path is not None:
+        lattice = service._new_lattice(name)
+        attached = attach_lattice_sidecar(
+            lattice,
+            engine.catalog.store.get(name),
+            csv_path,
+            olap_sidecar_path_for(baseline_dir, name),
+            version=engine.catalog.store.latest_version(name),
+        )
+        if attached:
+            service._live[name] = lattice
+    lattice = service.lattice(name)
+    levels = _parse_assignments(args.levels, "level assignment")
+    if args.point:
+        schema = engine.catalog.schema_of(name)
+        coords = {}
+        for dim, text in _parse_assignments(args.point, "coordinate").items():
+            coords[dim] = parse_dim_value(
+                schema.dimension(dim).dtype, text
+            )
+        print(format_measure(service.point(name, coords)))
+    elif args.crosstab:
+        dims = [d.strip() for d in args.crosstab.split(",")]
+        if len(dims) != 2:
+            print("--crosstab needs exactly two dimensions: row,col",
+                  file=sys.stderr)
+            return 2
+        print(service.crosstab(name, dims[0], dims[1], levels=levels))
+    elif args.slice:
+        fixed = {
+            dim: _level_value(
+                lattice, dim, levels.get(dim, lattice.hierarchy(dim).levels[0].name), text
+            )
+            for dim, text in _parse_assignments(args.slice, "slice").items()
+        }
+        print(service.slice_(name, fixed, levels=levels).to_text())
+    elif args.dice:
+        ranges = {}
+        for dim, text in _parse_assignments(args.dice, "dice").items():
+            level_name = levels.get(dim, lattice.hierarchy(dim).levels[0].name)
+            ranges[dim] = [
+                _level_value(lattice, dim, level_name, v)
+                for v in text.split("|")
+            ]
+        print(service.dice(name, ranges, levels=levels).to_text())
+    elif args.drilldown:
+        print(
+            service.drilldown(name, levels, args.drilldown).to_text()
+        )
+    elif args.rollup or levels:
+        print(service.rollup(name, levels=levels).to_text())
+    else:
+        # no query: describe what can be asked
+        print(f"cube {name}: dimensions and levels")
+        for hierarchy in lattice.hierarchies:
+            print(
+                f"  {hierarchy.dim.name}: {', '.join(hierarchy.level_names)}"
+            )
+        print(f"  groups materialized: {lattice.total_groups()}")
+    if csv_path is not None and not attached:
+        write_lattice_sidecar(
+            service.lattice(name),
+            csv_path,
+            olap_sidecar_path_for(baseline_dir, name),
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -679,6 +841,64 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(defensive pin; default: accept whatever baseline is there)",
     )
     update.set_defaults(func=cmd_update)
+
+    query = sub.add_parser(
+        "query",
+        help="OLAP queries over the computed cubes: point lookups, "
+        "roll-ups along derived hierarchies, slice/dice, and cross-tabs "
+        "with sub-totals — answered from the materialized roll-up "
+        "lattice, not by re-aggregating CSVs",
+    )
+    query.add_argument("project")
+    query.add_argument("cube", help="cube to query (elementary or derived)")
+    query.add_argument(
+        "--out", default="out", help="output directory of the prior run"
+    )
+    query.add_argument(
+        "--agg",
+        default="sum",
+        metavar="NAME",
+        help="measure aggregate for roll-ups (default: sum)",
+    )
+    query.add_argument(
+        "--levels",
+        metavar="DIM=LEVEL,...",
+        help="level per dimension, e.g. 'm=quarter,r=zone'; unnamed "
+        "dimensions stay at base, 'all' collapses a dimension",
+    )
+    query.add_argument(
+        "--point",
+        metavar="DIM=VALUE,...",
+        help="the measure at one fully specified base coordinate",
+    )
+    query.add_argument(
+        "--rollup",
+        action="store_true",
+        help="print the aggregates at --levels (the default action "
+        "when --levels is given)",
+    )
+    query.add_argument(
+        "--slice",
+        metavar="DIM=VALUE,...",
+        help="fix dimensions to single values and project them away",
+    )
+    query.add_argument(
+        "--dice",
+        metavar="DIM=V1|V2,...",
+        help="filter dimensions to value sets",
+    )
+    query.add_argument(
+        "--drilldown",
+        metavar="DIM",
+        help="refine DIM one level finer than --levels",
+    )
+    query.add_argument(
+        "--crosstab",
+        metavar="ROW,COL",
+        help="print a cross-tab of two dimensions with row/column "
+        "sub-totals and a grand total",
+    )
+    query.set_defaults(func=cmd_query)
 
     args = parser.parse_args(argv)
     try:

@@ -107,6 +107,8 @@ class EXLEngine:
             chase_backend.capture_deltas = True
         self.catalog = MetadataCatalog()
         self.runs = RunLog()
+        #: the OLAP query service; None until enable_olap() is called
+        self.olap = None
         self._graph: Optional[DependencyGraph] = None
         self._translator: Optional[TranslationEngine] = None
         self._loaded_since_last_run: List[str] = []
@@ -164,6 +166,38 @@ class EXLEngine:
     def data(self, name: str, version: Optional[int] = None) -> Cube:
         """Read a cube (latest or a historical version)."""
         return self.catalog.data(name, version)
+
+    # -- OLAP --------------------------------------------------------------
+    def enable_olap(
+        self,
+        cubes: Optional[Iterable[str]] = None,
+        aggregate="sum",
+    ):
+        """Turn on the OLAP query layer (:mod:`repro.olap`).
+
+        Builds and then eagerly maintains a roll-up lattice per
+        queryable cube: after every committed run the engine refreshes
+        the lattices of the cubes that run wrote, re-reducing only
+        dirty groups, so slice/dice/roll-up queries — and ``as_of``
+        queries pinned at any past run — answer from memory.
+
+        Args:
+            cubes: restrict the queryable set (default: every cube
+                with data).
+            aggregate: measure aggregate for the lattices — a name
+                from the aggregate registry, or a callable (which
+                disables incremental refresh).
+        """
+        from ..olap import OlapService
+
+        self.olap = OlapService(
+            self.catalog,
+            runs=self.runs,
+            aggregate=aggregate,
+            metrics=self.metrics,
+            cubes=cubes,
+        )
+        return self.olap
 
     # -- lazy internals -----------------------------------------------------------
     def _invalidate(self) -> None:
@@ -511,6 +545,9 @@ class EXLEngine:
             self.metrics.inc("engine.runs.partial")
         self._record_baselines(record)
         self.runs.close(record)
+        if self.olap is not None:
+            with self.tracer.span("olap-refresh", category="engine"):
+                self.olap.on_commit(record, dispatcher.committed_versions)
         return record
 
     def _record_baselines(self, record: RunRecord) -> None:

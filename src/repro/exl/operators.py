@@ -155,7 +155,63 @@ class OperatorRegistry:
                     f"| `{spec.name}` | {params} | {targets} | {spec.doc or ''} |"
                 )
             lines.append("")
+        lines.append(_OLAP_EPILOGUE)
         return "\n".join(lines)
+
+
+# closes the generated operator reference (docs/OPERATORS.md): the
+# dimension functions feed straight into the OLAP layer's hierarchies,
+# so the worked query example lives next to their table
+_OLAP_EPILOGUE = """\
+## Dimension hierarchies and cross-tabs (`exl query`)
+
+The dimension functions above induce the query-side hierarchies of the
+OLAP layer (DESIGN.md §11): a `TIME(MONTH)` dimension can be rolled up
+to `quarter`, `year`, or `all` without re-running anything, because
+every lattice node is materialized when the program runs. A worked
+example — quarterly sales for two regions:
+
+```text
+G := sum(S, group by quarter(m) as q, r)
+```
+
+with `S` holding monthly values for `north`/`south` over 2020. After
+`exl run project.json --out out/`, a sub-totaled cross-tab (Gray's
+data cube: the `total` row and column are the ALL cells, maintained
+aggregates rather than sums of the printed cells):
+
+```console
+$ exl query project.json G --out out/ --crosstab q,r
+q       north  south  total
+------  -----  -----  -----
+2020Q1    330    363    693
+2020Q2    420    462    882
+2020Q3    510    561   1071
+2020Q4    600    660   1260
+ total   1860   2046   3906
+```
+
+Rolling up the time axis instead, with the region axis collapsed:
+
+```console
+$ exl query project.json G --out out/ --levels q=year,r=all
+q:year  sum
+------  ----
+2020    3906
+```
+
+(the monthly values here are `north = 100, 110, …, 210` and
+`south = 1.1 × north`, so e.g. `2020Q1/north = 100 + 110 + 120 = 330`)
+
+A declared grouping adds a level to a flat dimension — in the project
+file, `"groupings": {"G": {"r": {"zone": {"north": "cold", "south":
+"warm"}}}}` — after which `--levels r=zone` aggregates by zone, and
+`--dice r=cold` keeps only the cold rows. `--point "q=2020Q1,r=north"`
+prints the single base cell, and `--drilldown q` steps one level finer
+from wherever `--levels` put the time axis. All of it answers from the
+persisted lattice sidecar (`out/baseline/olap/G.json`) without loading
+a CSV.
+"""
 
 
 # ---------------------------------------------------------------------------

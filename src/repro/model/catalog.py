@@ -91,6 +91,11 @@ class MetadataCatalog:
     def __init__(self):
         self._entries: Dict[str, CubeEntry] = {}
         self.store = VersionedStore()
+        # declared attribute groupings: (cube, dimension) -> ordered
+        # {level name: value mapping}.  Time dimensions get their
+        # calendar hierarchy for free (repro.model.time.rollup_path);
+        # flat attribute dimensions only have the levels declared here.
+        self._groupings: Dict[Tuple[str, str], Dict[str, Dict]] = {}
 
     # -- declarations -----------------------------------------------------
     def declare_elementary(
@@ -112,6 +117,42 @@ class MetadataCatalog:
         if entry.schema.name in self._entries:
             raise CatalogError(f"cube {entry.schema.name} already declared")
         self._entries[entry.schema.name] = entry
+
+    def declare_grouping(
+        self, cube: str, dimension: str, level: str, mapping: Dict
+    ) -> None:
+        """Declare an attribute grouping: a named roll-up level over one
+        flat dimension of one cube (e.g. region -> zone).
+
+        ``mapping`` sends base dimension values to coarser group labels;
+        values absent from the mapping pass through unchanged, so a
+        partial grouping is total.  Groupings are metadata in the
+        paper's sense: the OLAP layer derives dimension hierarchies from
+        them (between the base level and the implicit all-level), in
+        declaration order, finest first.
+        """
+        schema = self.schema_of(cube)
+        dim = schema.dimension(dimension)  # raises on unknown dimension
+        if dim.dtype.is_time:
+            raise CatalogError(
+                f"dimension {dimension!r} of {cube} is a time axis; its "
+                f"hierarchy is derived from the calendar, not declared"
+            )
+        levels = self._groupings.setdefault((cube, dimension), {})
+        if level in levels:
+            raise CatalogError(
+                f"grouping {level!r} already declared on {cube}.{dimension}"
+            )
+        levels[level] = dict(mapping)
+
+    def groupings_for(self, cube: str, dimension: str) -> Dict[str, Dict]:
+        """Declared groupings of one dimension, in declaration order."""
+        return {
+            name: dict(mapping)
+            for name, mapping in self._groupings.get(
+                (cube, dimension), {}
+            ).items()
+        }
 
     # -- queries ------------------------------------------------------------
     def entry(self, name: str) -> CubeEntry:

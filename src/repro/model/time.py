@@ -43,6 +43,7 @@ __all__ = [
     "year",
     "convert",
     "parse_timepoint",
+    "rollup_path",
 ]
 
 
@@ -252,6 +253,26 @@ def convert(point: TimePoint, target: Frequency) -> TimePoint:
     date = point.to_date()
     iso = date.isocalendar()
     return week(iso[0], iso[1])
+
+
+def rollup_path(freq: Frequency) -> tuple:
+    """The coarser frequencies a time dimension rolls up through.
+
+    This is the calendar hierarchy behind OLAP roll-up and drill-down:
+    every point at ``freq`` maps to exactly one period at each returned
+    frequency via :func:`convert`, ordered finest to coarsest.  WEEK is
+    excluded from the paths of finer frequencies because ISO weeks
+    straddle month and quarter boundaries — a week does not nest inside
+    any of them — while a WEEK dimension itself rolls up to its ISO
+    year only.
+    """
+    if freq is Frequency.WEEK:
+        return (Frequency.YEAR,)
+    return tuple(
+        f
+        for f in (Frequency.MONTH, Frequency.QUARTER, Frequency.YEAR)
+        if f.rank < freq.rank
+    )
 
 
 _PATTERNS = [

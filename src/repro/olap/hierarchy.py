@@ -1,0 +1,221 @@
+"""Dimension hierarchies derived from the model.
+
+OLAP roll-up and drill-down (Kuijpers–Vaisman's algebra) move along
+*hierarchy levels* of a dimension.  EXLEngine derives them from the
+metadata it already has instead of asking for a separate dimension
+model:
+
+* A **time dimension** gets the calendar hierarchy its frequency
+  implies (:func:`repro.model.time.rollup_path`): a monthly axis rolls
+  up through quarters and years, a daily axis through months, quarters
+  and years — the same ``convert`` semantics the paper's ``quarter(d)``
+  term uses in tgd (1).
+* A **flat attribute dimension** has only its base level, plus any
+  groupings declared in the catalog
+  (:meth:`repro.model.catalog.MetadataCatalog.declare_grouping`), in
+  declaration order, finest first.
+* Every dimension ends in the implicit **all** level (Gray et al.'s
+  ``ALL`` value), which collapses the dimension entirely — that level
+  is what cross-tab sub-totals and grand totals are served from.
+
+A :class:`Level` is a named total function from base dimension values
+to level values; a :class:`DimHierarchy` is the ordered tuple of levels
+of one dimension, base first, ``all`` last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import ReproError
+from ..model.catalog import MetadataCatalog
+from ..model.cube import CubeSchema, Dimension
+from ..model.time import convert, rollup_path
+from ..model.types import TIME, DimType
+
+__all__ = [
+    "ALL",
+    "ALL_LEVEL",
+    "Level",
+    "DimHierarchy",
+    "OlapError",
+    "derive_hierarchy",
+    "hierarchies_for",
+]
+
+ALL_LEVEL = "all"
+
+
+class OlapError(ReproError):
+    """An invalid OLAP query or hierarchy operation."""
+
+
+class _AllToken:
+    """The single ``ALL`` value: every base value maps to it at the
+    all-level, so one group holds the whole dimension.  A dedicated
+    singleton (not a string) so it can never collide with a real
+    dimension value."""
+
+    _instance = None
+    __slots__ = ()
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ALL"
+
+    def __str__(self) -> str:
+        return "(all)"
+
+
+ALL = _AllToken()
+
+
+@dataclass(frozen=True)
+class Level:
+    """One hierarchy level: a named total map from base dim values.
+
+    ``depth`` orders levels within a hierarchy (0 = base, larger =
+    coarser); ``dtype`` is the value type at this level when one is
+    known (time levels, the base level) and None for declared
+    groupings, whose labels are opaque.  ``fn`` maps a *base* value to
+    this level's value — levels always map from the base, never from
+    each other, so a lattice node never depends on another node's
+    representation.
+    """
+
+    name: str
+    depth: int
+    fn: Callable[[Any], Any] = field(compare=False)
+    dtype: Optional[DimType] = None
+
+    @property
+    def is_base(self) -> bool:
+        return self.depth == 0
+
+    @property
+    def is_all(self) -> bool:
+        return self.name == ALL_LEVEL
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+def _to_all(_value: Any) -> Any:
+    return ALL
+
+
+@dataclass(frozen=True)
+class DimHierarchy:
+    """The ordered levels of one dimension, base first, ``all`` last."""
+
+    dim: Dimension
+    levels: Tuple[Level, ...]
+
+    def level(self, name: str) -> Level:
+        for lvl in self.levels:
+            if lvl.name == name:
+                return lvl
+        raise OlapError(
+            f"dimension {self.dim.name!r} has no level {name!r} "
+            f"(levels: {', '.join(self.level_names)})"
+        )
+
+    @property
+    def level_names(self) -> Tuple[str, ...]:
+        return tuple(lvl.name for lvl in self.levels)
+
+    def finer(self, name: str) -> Optional[Level]:
+        """The next finer level, or None when ``name`` is the base."""
+        lvl = self.level(name)
+        if lvl.is_base:
+            return None
+        position = self.levels.index(lvl)
+        return self.levels[position - 1]
+
+    def coarser(self, name: str) -> Optional[Level]:
+        """The next coarser level, or None when ``name`` is ``all``."""
+        lvl = self.level(name)
+        position = self.levels.index(lvl)
+        if position == len(self.levels) - 1:
+            return None
+        return self.levels[position + 1]
+
+
+def _grouping_fn(mapping: Dict) -> Callable[[Any], Any]:
+    def grouped(value: Any) -> Any:
+        return mapping.get(value, value)
+
+    return grouped
+
+
+def derive_hierarchy(
+    dim: Dimension, groupings: Optional[Dict[str, Dict]] = None
+) -> DimHierarchy:
+    """The hierarchy of one dimension: base, derived levels, ``all``.
+
+    Time dimensions take the calendar path of their frequency; flat
+    dimensions take the declared ``groupings`` (level name -> value
+    mapping, unmapped values passing through).
+    """
+    levels = [Level(dim.name, 0, _identity, dim.dtype)]
+    if dim.dtype.is_time:
+        if groupings:
+            raise OlapError(
+                f"time dimension {dim.name!r} derives its hierarchy from "
+                f"the calendar; declared groupings are not allowed"
+            )
+        for depth, freq in enumerate(rollup_path(dim.dtype.freq), start=1):
+            levels.append(
+                Level(
+                    freq.name.lower(),
+                    depth,
+                    _conversion_to(freq),
+                    TIME(freq),
+                )
+            )
+    else:
+        for depth, (name, mapping) in enumerate(
+            (groupings or {}).items(), start=1
+        ):
+            if name == ALL_LEVEL or name == dim.name:
+                raise OlapError(
+                    f"grouping name {name!r} collides with a built-in "
+                    f"level of dimension {dim.name!r}"
+                )
+            levels.append(Level(name, depth, _grouping_fn(mapping)))
+    levels.append(Level(ALL_LEVEL, len(levels), _to_all))
+    return DimHierarchy(dim, tuple(levels))
+
+
+def _conversion_to(freq) -> Callable[[Any], Any]:
+    def to_freq(point):
+        return convert(point, freq)
+
+    return to_freq
+
+
+def hierarchies_for(
+    catalog: MetadataCatalog, name: str
+) -> Tuple[DimHierarchy, ...]:
+    """All dimension hierarchies of one cube, from the catalog.
+
+    Time axes get their calendar hierarchy, flat axes their declared
+    groupings — this is the single derivation point both the lattice
+    and the query layer share.
+    """
+    schema: CubeSchema = catalog.schema_of(name)
+    return tuple(
+        derive_hierarchy(
+            dim,
+            None
+            if dim.dtype.is_time
+            else catalog.groupings_for(name, dim.name),
+        )
+        for dim in schema.dimensions
+    )

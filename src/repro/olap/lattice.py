@@ -1,0 +1,356 @@
+"""The eagerly maintained roll-up lattice of one cube.
+
+Gray et al.'s data cube is the union of group-bys over every subset of
+dimensions; with hierarchies, every *combination of one level per
+dimension* is a lattice node.  :class:`CubeLattice` materializes all of
+them for one cube, so slice/dice/roll-up/drill-down queries are
+dictionary lookups — no CSV is read and no group-by runs at query time.
+
+Three properties keep the lattice honest:
+
+* **Every node reduces the base rows directly** (never a finer node),
+  with measures folded in :func:`repro.stats.aggregates.canonical_bag`
+  order.  A lattice-served aggregate is therefore bit-identical to a
+  recompute-from-scratch oracle, whichever path built it.
+* **Building is columnar**: the cube's :class:`ColumnStore` image is
+  grouped with the same primitives as the aggregation kernel —
+  per-distinct-value level transforms (:func:`transform_encoded`),
+  mixed-radix composite group codes (:func:`mix_codes`), one stable
+  argsort per node.  Tuple mode (``EXL_FORCE_TUPLE_VIEW=1``) falls back
+  to a plain dict group-by with identical results.
+* **Refreshing is incremental**: each node keeps a per-group
+  contribution index (built lazily from the previous base version) and
+  splices a :class:`CubeDelta` through it with
+  :func:`repro.chase.delta.rereduce_groups`, re-reducing only dirty
+  groups — the count lands on ``olap.lattice.groups.rereduced``.
+  Unregistered (callable) aggregates cannot be named in sidecars or
+  trusted to be bag functions, so they rebuild from scratch instead,
+  counted under ``olap.lattice.fallback.reason:*`` exactly like the
+  delta chase's own fallbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..chase.colstore import ColumnStore
+from ..chase.columnar import (
+    EncodedColumn,
+    FallbackUnsupported,
+    mix_codes,
+    transform_encoded,
+)
+from ..chase.delta import rereduce_groups
+from ..chase.instance import store_for_cube
+from ..model.cube import Cube, CubeDelta
+from ..stats.aggregates import AGGREGATES, get_aggregate
+from .hierarchy import ALL, DimHierarchy, Level, OlapError
+
+__all__ = ["LatticeNode", "CubeLattice"]
+
+_INT = np.int64
+
+
+class LatticeNode:
+    """One group-by of the lattice: a chosen level per dimension.
+
+    ``key`` names the level choice (one level name per dimension, in
+    schema order); ``groups`` maps group keys — tuples of level values
+    for the non-all dimensions, in schema order — to the aggregate of
+    the base measures rolling up into them.
+    """
+
+    __slots__ = ("key", "levels", "groups", "_index", "_store")
+
+    def __init__(self, key: Tuple[str, ...], levels: Tuple[Level, ...]):
+        self.key = key
+        self.levels = levels
+        self.groups: Dict[Tuple, float] = {}
+        # lazy per-group contribution index {group key: {base dims:
+        # measure}}, built from the previous base version on first
+        # incremental refresh; None until then
+        self._index: Optional[Dict[Tuple, Dict[Tuple, Any]]] = None
+        self._store: Optional[ColumnStore] = None
+
+    @property
+    def arity(self) -> int:
+        """Group-key width: the number of non-all dimensions."""
+        return sum(1 for lvl in self.levels if not lvl.is_all)
+
+    def group_key(self, dims: Tuple) -> Tuple:
+        """The group a base dimension tuple rolls up into."""
+        return tuple(
+            lvl.fn(value)
+            for lvl, value in zip(self.levels, dims)
+            if not lvl.is_all
+        )
+
+    def classify(self, fact: Tuple) -> Tuple[Tuple, Any]:
+        """``(group key, contribution)`` of one base fact — the shape
+        :func:`repro.chase.delta.rereduce_groups` expects."""
+        return self.group_key(fact[:-1]), fact[-1]
+
+    def as_store(self) -> ColumnStore:
+        """The node's result relation as a :class:`ColumnStore`.
+
+        Materialized lazily from ``groups`` (refreshes drop it), sorted
+        by repr of the group key so the row order is deterministic.
+        """
+        store = self._store
+        if store is None:
+            store = ColumnStore(self.arity + 1)
+            for key in sorted(self.groups, key=_group_sort_key):
+                store.add(key + (self.groups[key],))
+            store.dims_distinct = True
+            self._store = store
+        return store
+
+    def invalidate(self) -> None:
+        self._index = None
+        self._store = None
+
+
+def _group_sort_key(key: Tuple) -> Tuple:
+    return tuple((type(part).__name__, repr(part)) for part in key)
+
+
+class CubeLattice:
+    """All roll-up nodes of one cube, kept fresh across versions."""
+
+    def __init__(
+        self,
+        name: str,
+        hierarchies: Tuple[DimHierarchy, ...],
+        aggregate: Any = "sum",
+        metrics=None,
+    ):
+        self.name = name
+        self.hierarchies = hierarchies
+        if callable(aggregate):
+            # an ad-hoc callable: usable, but opaque — no sidecar name,
+            # no bag-function guarantee, so refreshes rebuild in full
+            self.agg_name: Optional[str] = None
+            self.aggregate: Callable = aggregate
+        else:
+            self.agg_name = str(aggregate).lower()
+            self.aggregate = get_aggregate(self.agg_name)
+            if self.agg_name == "mean":  # canonical registry name
+                self.agg_name = "avg"
+        self.metrics = metrics
+        self.version: Optional[int] = None
+        self.nodes: Dict[Tuple[str, ...], LatticeNode] = {}
+        for key, levels in _level_product(hierarchies):
+            self.nodes[key] = LatticeNode(key, levels)
+        self._base: Optional[Cube] = None
+        if metrics is not None:
+            metrics.inc("olap.lattice.nodes", len(self.nodes))
+
+    # -- lookups -----------------------------------------------------------
+    def node(self, levels: Dict[str, str]) -> LatticeNode:
+        """The node for a level choice; unnamed dimensions stay at base."""
+        key = []
+        named = dict(levels)
+        for hierarchy in self.hierarchies:
+            choice = named.pop(hierarchy.dim.name, None)
+            if choice is None:
+                key.append(hierarchy.levels[0].name)
+            else:
+                key.append(hierarchy.level(choice).name)  # validates
+        if named:
+            raise OlapError(
+                f"cube {self.name!r} has no dimension "
+                f"{sorted(named)[0]!r}"
+            )
+        return self.nodes[tuple(key)]
+
+    def hierarchy(self, dim: str) -> DimHierarchy:
+        for hierarchy in self.hierarchies:
+            if hierarchy.dim.name == dim:
+                return hierarchy
+        raise OlapError(f"cube {self.name!r} has no dimension {dim!r}")
+
+    def total_groups(self) -> int:
+        return sum(len(node.groups) for node in self.nodes.values())
+
+    # -- full build --------------------------------------------------------
+    def build(self, cube: Cube, version: Optional[int] = None) -> None:
+        """Group-reduce every node from the base cube.
+
+        Uses the columnar kernels when the cube carries (or can build)
+        a :class:`ColumnStore`; forced tuple view or non-columnar rows
+        take the scalar group-by.  Both fold in canonical bag order.
+        """
+        self._base = cube
+        self.version = version
+        for node in self.nodes.values():
+            node.invalidate()
+        store = None if cube.schema.arity == 0 else store_for_cube(cube)
+        if store is not None and store.n_rows:
+            try:
+                self._build_columnar(store.image())
+            except FallbackUnsupported:
+                self._build_tuple(cube)
+        else:
+            self._build_tuple(cube)
+        if self.metrics is not None:
+            self.metrics.inc("olap.lattice.builds")
+            self.metrics.inc("olap.lattice.groups", self.total_groups())
+
+    def _build_columnar(self, image) -> None:
+        n = image.n_rows
+        measures = image.measures
+        # one dictionary transform per (dimension, level), shared by
+        # every node that uses that level
+        transformed: Dict[Tuple[int, str], EncodedColumn] = {}
+        for j, hierarchy in enumerate(self.hierarchies):
+            for lvl in hierarchy.levels:
+                if lvl.is_all:
+                    continue
+                if lvl.is_base:
+                    transformed[(j, lvl.name)] = image.dims[j]
+                else:
+                    transformed[(j, lvl.name)] = transform_encoded(
+                        image.dims[j], lvl.fn
+                    )
+        for node in self.nodes.values():
+            cols = [
+                transformed[(j, lvl.name)]
+                for j, lvl in enumerate(node.levels)
+                if not lvl.is_all
+            ]
+            node.groups = _group_reduce(cols, measures, n, self.aggregate)
+
+    def _build_tuple(self, cube: Cube) -> None:
+        # per-(dimension, level) value maps computed once over the
+        # distinct base values, mirroring transform_encoded's
+        # per-distinct-value evaluation
+        distinct: List[Dict[Any, None]] = [
+            {} for _ in range(cube.schema.arity)
+        ]
+        for dims in cube.keys():
+            for j, value in enumerate(dims):
+                distinct[j][value] = None
+        level_maps: Dict[Tuple[int, str], Dict[Any, Any]] = {}
+        for j, hierarchy in enumerate(self.hierarchies):
+            for lvl in hierarchy.levels:
+                if not lvl.is_all:
+                    level_maps[(j, lvl.name)] = {
+                        value: lvl.fn(value) for value in distinct[j]
+                    }
+        for node in self.nodes.values():
+            maps = [
+                (j, level_maps[(j, lvl.name)])
+                for j, lvl in enumerate(node.levels)
+                if not lvl.is_all
+            ]
+            bags: Dict[Tuple, List[float]] = {}
+            for dims, measure in cube.items():
+                key = tuple(mapping[dims[j]] for j, mapping in maps)
+                bags.setdefault(key, []).append(measure)
+            node.groups = {
+                key: self.aggregate(values) for key, values in bags.items()
+            }
+
+    # -- incremental refresh -----------------------------------------------
+    def refresh(
+        self,
+        cube: Cube,
+        version: Optional[int] = None,
+        delta: Optional[CubeDelta] = None,
+    ) -> int:
+        """Bring the lattice to a new base version.
+
+        Splices the row delta through each node's contribution index,
+        re-reducing only dirty groups; returns the total re-reduced
+        group count across nodes (also ``olap.lattice.groups.rereduced``
+        on the metrics registry).  Falls back to a full :meth:`build`
+        — counted like the delta chase's ``delta.fallback.reason:*`` —
+        when there is no baseline to delta against or the aggregate is
+        an unregistered callable.
+        """
+        if self._base is None:
+            return self._fallback(cube, version, "no-baseline")
+        if self.agg_name is None or self.agg_name not in AGGREGATES:
+            return self._fallback(cube, version, "unregistered-aggregate")
+        if delta is None:
+            delta = self._base.delta(cube)
+        old_facts = list(delta.deleted) + [old for old, _ in delta.updated]
+        new_facts = list(delta.inserted) + [new for _, new in delta.updated]
+        rereduced = 0
+        for node in self.nodes.values() if old_facts or new_facts else ():
+            if node._index is None:
+                node._index = self._build_index(node)
+            rereduced += rereduce_groups(
+                node._index,
+                old_facts,
+                new_facts,
+                node.classify,
+                self.aggregate,
+                node.groups,
+            )
+            node._store = None
+        self._base = cube
+        self.version = version
+        if self.metrics is not None:
+            self.metrics.inc("olap.lattice.refreshes")
+            self.metrics.inc("olap.lattice.groups.rereduced", rereduced)
+        return rereduced
+
+    def _build_index(self, node: LatticeNode) -> Dict[Tuple, Dict[Tuple, Any]]:
+        index: Dict[Tuple, Dict[Tuple, Any]] = {}
+        for dims, measure in self._base.items():
+            index.setdefault(node.group_key(dims), {})[dims] = measure
+        if self.metrics is not None:
+            self.metrics.inc("olap.lattice.index.builds")
+        return index
+
+    def _fallback(
+        self, cube: Cube, version: Optional[int], reason: str
+    ) -> int:
+        if self.metrics is not None:
+            self.metrics.inc("olap.lattice.fallback")
+            self.metrics.inc(f"olap.lattice.fallback.reason:{reason}")
+        self.build(cube, version)
+        return self.total_groups()
+
+
+def _level_product(
+    hierarchies: Tuple[DimHierarchy, ...],
+) -> List[Tuple[Tuple[str, ...], Tuple[Level, ...]]]:
+    """Every one-level-per-dimension combination, base node first."""
+    combos: List[Tuple[Tuple[str, ...], Tuple[Level, ...]]] = [((), ())]
+    for hierarchy in hierarchies:
+        combos = [
+            (names + (lvl.name,), levels + (lvl,))
+            for names, levels in combos
+            for lvl in hierarchy.levels
+        ]
+    return combos
+
+
+def _group_reduce(
+    cols: List[EncodedColumn], measures: np.ndarray, n: int, aggregate
+) -> Dict[Tuple, float]:
+    """One node's group-by via composite codes + one stable argsort."""
+    if not cols:
+        # the all-all node: a single group keyed by the empty tuple
+        if not n:
+            return {}
+        return {(): aggregate(measures.tolist())}
+    bases = [max(len(col.dictionary), 1) for col in cols]
+    composite = mix_codes([col.codes for col in cols], bases, n)
+    order = np.argsort(composite, kind="stable")
+    sorted_codes = composite[order]
+    sorted_measures = measures[order].tolist()
+    boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
+    starts = [0, *boundaries.tolist()]
+    ends = [*boundaries.tolist(), n]
+    groups: Dict[Tuple, float] = {}
+    order_list = order.tolist()
+    for start, end in zip(starts, ends):
+        row = order_list[start]
+        key = tuple(col.dictionary[col.codes[row]] for col in cols)
+        groups[key] = aggregate(sorted_measures[start:end])
+    return groups

@@ -404,6 +404,9 @@ PASSING_REPORT = {
     "parallel_chase": {
         "wave_overlap": {"speedup": 3.9, "floor": 2.5, "waves": 4},
     },
+    "fault_recovery": {
+        "transient_30pct_overhead": {"value": 1.4, "ceiling": 2.0},
+    },
 }
 
 
@@ -411,7 +414,10 @@ class TestRegressionGate:
     def test_passes_at_or_above_floors(self, tmp_path):
         completed = _run_gate(tmp_path, PASSING_REPORT)
         assert completed.returncode == 0, completed.stderr
-        assert "all benchmarks at or above their floors" in completed.stdout
+        assert (
+            "all benchmarks within their floors and ceilings"
+            in completed.stdout
+        )
 
     def test_fails_below_floor(self, tmp_path):
         doctored = json.loads(json.dumps(PASSING_REPORT))
@@ -420,6 +426,29 @@ class TestRegressionGate:
         assert completed.returncode == 1
         assert "REGRESSION" in completed.stdout
         assert "below floor" in completed.stderr
+
+    def test_fails_above_ceiling(self, tmp_path):
+        doctored = json.loads(json.dumps(PASSING_REPORT))
+        doctored["fault_recovery"]["transient_30pct_overhead"]["value"] = 2.7
+        completed = _run_gate(tmp_path, doctored)
+        assert completed.returncode == 1
+        assert "REGRESSION" in completed.stdout
+        assert "above ceiling" in completed.stderr
+
+    def test_entry_with_both_gates_checks_both(self, tmp_path):
+        doctored = json.loads(json.dumps(PASSING_REPORT))
+        doctored["olap_query"] = {
+            "dirty_group_refresh": {
+                "speedup": 120.0,
+                "floor": 100.0,
+                "value": 0.4,
+                "ceiling": 0.25,
+            }
+        }
+        completed = _run_gate(tmp_path, doctored)
+        assert completed.returncode == 1
+        assert "above ceiling" in completed.stderr
+        assert "below floor" not in completed.stderr
 
     def test_fails_on_empty_report(self, tmp_path):
         completed = _run_gate(tmp_path, {"columnar_chase": {}})
