@@ -18,6 +18,12 @@ de-vectorized kernel, a serialized wave, a delta rule degraded to
 full recompute, a shard merge gone quadratic — without flaking on
 shared CI runners.
 
+The gate also fails when a *required* entry is missing from the
+report: every dotted name in :data:`REQUIRED` must appear with its
+gate keys intact, so a bench that silently stopped recording (renamed
+section, deleted test, skipped file) breaks the build instead of
+passing vacuously.
+
 Usage::
 
     python benchmarks/check_regression.py [REPORT.json]
@@ -31,6 +37,26 @@ import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Tuple
+
+#: Dotted names of gated entries the CI benchmark job is expected to
+#: produce.  Listed here so check() can fail on *absence*, not only on
+#: out-of-bounds values — keep in sync with the bench files run by the
+#: ``benchmark-regression`` CI job.
+REQUIRED = (
+    "columnar_chase.aggregation",
+    "columnar_chase.scalar_arith",
+    "columnar_native.warm_encode_tax",
+    "crash_recovery.journal_overhead",
+    "crash_recovery.recovery_vs_rerun",
+    "delta_chase.noop_update",
+    "delta_chase.one_percent_update",
+    "fault_recovery.resume_vs_rerun",
+    "fault_recovery.transient_30pct_overhead",
+    "olap_query.dirty_group_refresh",
+    "olap_query.warm_rollup_vs_csv",
+    "parallel_chase.wave_overlap",
+    "sharded_chase.panel_scaling",
+)
 
 
 def gated_entries(
@@ -58,8 +84,10 @@ def check(document: Dict[str, Any]) -> List[str]:
     """Return one violation line per out-of-bounds entry (empty = pass)."""
     violations = []
     found = False
+    seen = set()
     for name, entry in gated_entries(document):
         found = True
+        seen.add(name)
         if "speedup" in entry and "floor" in entry:
             speedup = float(entry["speedup"])
             floor = float(entry["floor"])
@@ -90,6 +118,12 @@ def check(document: Dict[str, Any]) -> List[str]:
         violations.append(
             "no gated entries (speedup+floor or value+ceiling) found in report"
         )
+    for name in REQUIRED:
+        if name not in seen:
+            print(f"  {name:<40} MISSING")
+            violations.append(
+                f"{name}: required gated entry is missing from the report"
+            )
     return violations
 
 

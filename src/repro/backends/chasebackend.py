@@ -32,6 +32,12 @@ from .base import Backend, CompiledTgd
 
 __all__ = ["ChaseBackend"]
 
+#: fault kinds the parent-side shard hook may deliver — mirrors
+#: ``repro.engine.faults.ERROR_KINDS`` (importing it here would cycle
+#: through the engine package); process-level kinds (kill/hang) are
+#: delivered only *inside* forked shard workers via ``fault_context``
+_PARENT_SAFE_KINDS = ("transient", "permanent", "delay")
+
 
 class _ChaseStore:
     """Running chase state: the target instance plus the functional index."""
@@ -77,6 +83,8 @@ class ChaseBackend(Backend):
         metrics=None,
         capture_deltas: bool = False,
         shards: int = 1,
+        shard_retries: int = 2,
+        shard_timeout_s: Optional[float] = None,
     ):
         self.parallel = parallel
         self.max_workers = max_workers
@@ -84,6 +92,10 @@ class ChaseBackend(Backend):
         #: worker-process count for whole-mapping runs (0 = one per
         #: core, 1 = no sharding); see chase.shard
         self.shards = shards
+        #: shard-pool supervision knobs (see chase.shard): pool-rebuild
+        #: rounds after worker death, and the per-shard wedge timeout
+        self.shard_retries = shard_retries
+        self.shard_timeout_s = shard_timeout_s
         #: columnar kernels on/off (``None`` = engine default, i.e. on)
         self.vectorized = vectorized
         #: observability sinks threaded into every chase this backend
@@ -156,6 +168,7 @@ class ChaseBackend(Backend):
                 cubes + (f"shard:{shard_index}",),
                 attempt,
                 metrics=metrics,
+                kinds=_PARENT_SAFE_KINDS,
             )
 
         return hook
@@ -203,6 +216,9 @@ class ChaseBackend(Backend):
                 tracer=self.tracer,
                 metrics=self.metrics,
                 fault_hook=self._shard_fault_hook(),
+                fault_context=getattr(self._fault_ctx, "value", None),
+                shard_retries=self.shard_retries,
+                shard_timeout_s=self.shard_timeout_s,
             )
         elif self.parallel:
             chase = ParallelStratifiedChase(

@@ -32,8 +32,16 @@ On attach the decoded measure column is additionally verified
 value-for-value against the cube's rows and rebound to the cube's own
 float objects, preserving the store invariant that measures are the
 exact objects the cube holds (NaN retraction matches by identity).
-Anything that fails silently falls back to the tuple path and the next
-chase rebuilds the columns.
+Anything that fails falls back to the tuple path and the next chase
+rebuilds the columns.  An *absent* sidecar is the ordinary cold-start
+miss and stays silent; a sidecar that exists but cannot be read —
+unreadable file, a ``baseline/columnar|olap/`` entry half-deleted by a
+crash or an operator — is counted as ``chase.sidecar.fallback.reason:
+sidecar-unreadable`` (``olap.`` for lattices) on the optional ``metrics``
+registry so a damaged cache is visible instead of a silent slow run.
+Writes go through :func:`repro.chase.atomic.atomic_write`, so a reader
+never observes a torn sidecar, and write failures (read-only or vanished
+baseline directory) degrade to returning False rather than raising.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from typing import Any, Dict, Optional, Union
 
 from ..model.cube import Cube, CubeSchema
 from ..model.io import parse_dim_value
+from .atomic import atomic_write
 from .colstore import ColumnStore
 from .instance import store_for_cube
 
@@ -72,6 +81,40 @@ def _file_sha256(path: Path) -> Optional[str]:
         return hashlib.sha256(path.read_bytes()).hexdigest()
     except OSError:
         return None
+
+
+def _count_unreadable(metrics, prefix: str) -> None:
+    """Count a sidecar that exists but cannot be trusted as a cache miss."""
+    if metrics is not None:
+        metrics.inc(f"{prefix}.sidecar.fallback.reason:sidecar-unreadable")
+
+
+def _load_sidecar_json(
+    sidecar_path: Union[str, Path], metrics, prefix: str
+) -> Optional[Dict[str, Any]]:
+    """Read a sidecar file, distinguishing absence from damage.
+
+    Absent file -> None silently (the ordinary cold-start miss).
+    Unreadable file, torn/corrupt JSON, or a non-object document ->
+    None with a ``{prefix}.sidecar.fallback.reason:sidecar-unreadable``
+    count, so crash debris and permission problems are observable.
+    """
+    try:
+        text = Path(sidecar_path).read_text()
+    except FileNotFoundError:
+        return None
+    except OSError:
+        _count_unreadable(metrics, prefix)
+        return None
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        _count_unreadable(metrics, prefix)
+        return None
+    if not isinstance(payload, dict):
+        _count_unreadable(metrics, prefix)
+        return None
+    return payload
 
 
 def _encode_measure(value: float) -> Any:
@@ -112,13 +155,16 @@ def write_store_sidecar(
 
     Returns False (writing nothing, removing any stale sidecar) when the
     cube has no columnar representation — forced tuple mode, or rows the
-    store cannot hold.
+    store cannot hold — or when the sidecar directory cannot be written.
     """
     sidecar_path = Path(sidecar_path)
     store = store_for_cube(cube)
     digest = _file_sha256(Path(csv_path))
     if store is None or digest is None:
-        sidecar_path.unlink(missing_ok=True)
+        try:
+            sidecar_path.unlink(missing_ok=True)
+        except OSError:
+            pass
         return False
     payload = {
         "format": SIDECAR_FORMAT,
@@ -135,8 +181,10 @@ def write_store_sidecar(
         "measures": [_encode_measure(value) for value in store.measures],
     }
     payload["payload_sha256"] = _payload_sha256(payload)
-    sidecar_path.parent.mkdir(parents=True, exist_ok=True)
-    sidecar_path.write_text(json.dumps(payload, allow_nan=False))
+    try:
+        atomic_write(sidecar_path, json.dumps(payload, allow_nan=False))
+    except OSError:
+        return False
     return True
 
 
@@ -144,15 +192,14 @@ def read_store_sidecar(
     schema: CubeSchema,
     csv_path: Union[str, Path],
     sidecar_path: Union[str, Path],
+    metrics=None,
 ) -> Optional[ColumnStore]:
     """Rebuild a :class:`ColumnStore` from a sidecar, or None when the
     sidecar is absent, malformed, corrupted, or stale against the CSV
-    file."""
-    try:
-        payload = json.loads(Path(sidecar_path).read_text())
-    except (OSError, ValueError):
-        return None
-    if not isinstance(payload, dict):
+    file.  An unreadable-but-present sidecar counts as
+    ``chase.sidecar.fallback.reason:sidecar-unreadable`` on ``metrics``."""
+    payload = _load_sidecar_json(sidecar_path, metrics, "chase")
+    if payload is None:
         return None
     if payload.get("format") != SIDECAR_FORMAT:
         return None
@@ -200,7 +247,10 @@ def read_store_sidecar(
 
 
 def attach_store_sidecar(
-    cube: Cube, csv_path: Union[str, Path], sidecar_path: Union[str, Path]
+    cube: Cube,
+    csv_path: Union[str, Path],
+    sidecar_path: Union[str, Path],
+    metrics=None,
 ) -> bool:
     """Attach a persisted columnar store to ``cube`` when it matches.
 
@@ -213,7 +263,7 @@ def attach_store_sidecar(
     NaN rows keep the object-identity retraction semantics of a store
     built directly from the cube.
     """
-    store = read_store_sidecar(cube.schema, csv_path, sidecar_path)
+    store = read_store_sidecar(cube.schema, csv_path, sidecar_path, metrics)
     if store is None or store.n_rows != len(cube):
         return False
     rebound = []
@@ -287,7 +337,10 @@ def write_lattice_sidecar(
     sidecar_path = Path(sidecar_path)
     digest = _file_sha256(Path(csv_path))
     if digest is None or lattice.agg_name is None:
-        sidecar_path.unlink(missing_ok=True)
+        try:
+            sidecar_path.unlink(missing_ok=True)
+        except OSError:
+            pass
         return False
     try:
         nodes = [
@@ -304,7 +357,10 @@ def write_lattice_sidecar(
             for node in lattice.nodes.values()
         ]
     except ValueError:
-        sidecar_path.unlink(missing_ok=True)
+        try:
+            sidecar_path.unlink(missing_ok=True)
+        except OSError:
+            pass
         return False
     payload = {
         "format": OLAP_SIDECAR_FORMAT,
@@ -314,8 +370,10 @@ def write_lattice_sidecar(
         "nodes": nodes,
     }
     payload["payload_sha256"] = _payload_sha256(payload)
-    sidecar_path.parent.mkdir(parents=True, exist_ok=True)
-    sidecar_path.write_text(json.dumps(payload, allow_nan=False))
+    try:
+        atomic_write(sidecar_path, json.dumps(payload, allow_nan=False))
+    except OSError:
+        return False
     return True
 
 
@@ -325,6 +383,7 @@ def attach_lattice_sidecar(
     csv_path: Union[str, Path],
     sidecar_path: Union[str, Path],
     version: Optional[int] = None,
+    metrics=None,
 ) -> bool:
     """Fill a freshly constructed lattice from a sidecar when it matches.
 
@@ -335,12 +394,11 @@ def attach_lattice_sidecar(
     derives.  On success the lattice is left in the same state a
     :meth:`build` from ``cube`` would produce (the contribution
     indexes stay lazy), so incremental refreshes work immediately.
+    An unreadable-but-present sidecar counts as
+    ``olap.sidecar.fallback.reason:sidecar-unreadable`` on ``metrics``.
     """
-    try:
-        payload = json.loads(Path(sidecar_path).read_text())
-    except (OSError, ValueError):
-        return False
-    if not isinstance(payload, dict):
+    payload = _load_sidecar_json(sidecar_path, metrics, "olap")
+    if payload is None:
         return False
     if payload.get("format") != OLAP_SIDECAR_FORMAT:
         return False

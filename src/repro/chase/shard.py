@@ -43,9 +43,24 @@ Classification (the fallback taxonomy surfaced as
   single-process in the parent, in normal wave order, against the
   already-merged relations.
 
-A mapping with no local/rereduce tgds, a platform without ``fork``, or
-a broken worker pool falls back to the thread scheduler wholesale —
-same result, no scale-out, one counted reason.
+A mapping with no local/rereduce tgds or a platform without ``fork``
+falls back to the thread scheduler wholesale — same result, no
+scale-out, one counted reason.
+
+**Supervision.**  Worker death no longer abandons the run: the parent
+supervises the fork pool, keeps every shard result that completed, and
+rebuilds the pool to retry only the shards that died (a SIGKILLed or
+OOM-killed worker breaks the whole ``ProcessPoolExecutor``, so the pool
+is disposable per round).  Each retry round counts
+``chase.shard.retries`` per retried shard; after ``shard_retries``
+rounds the survivors are quarantined (``chase.shard.quarantined``) and
+the run falls back to the thread scheduler with reason
+``shard-retries-exhausted`` — still correct, just not scaled out.  With
+``shard_timeout_s`` set, a wedged worker (the ``hang`` fault kind) trips
+a per-shard timeout (``chase.shard.timeouts``), its process is
+terminated, and the shard retries like a crash.  Genuine chase errors
+(egd violations) raised *inside* a worker still propagate unchanged —
+only process death and timeouts are retried.
 """
 
 from __future__ import annotations
@@ -55,6 +70,7 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from concurrent.futures.thread import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -371,6 +387,12 @@ class _WorkerState:
     use_indexes: bool
     vectorized: bool
     trace: bool
+    #: (fault_plan, target, cubes, base_attempt) from the dispatcher, or
+    #: None — workers consult it for process-level fault kinds only
+    fault: Optional[Tuple[Any, str, Tuple[str, ...], int]] = None
+    #: which supervision round staged this state; folded into the fault
+    #: attempt index so "fail the first N attempts" rules see retries
+    pool_round: int = 0
 
 
 def _collect_contributions(
@@ -418,6 +440,19 @@ def _run_shard(index: int) -> Dict[str, Any]:
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - defensive
         raise RuntimeError("shard worker started without staged state")
+    if state.fault is not None:
+        # deliver process-level faults *inside* the expendable worker:
+        # "kill" SIGKILLs this forked process (breaking the pool so the
+        # supervisor retries the shard), "hang" wedges it until the
+        # supervisor's timeout fires; the in-process kinds already fired
+        # on the parent's pre-pool hook and are excluded here
+        plan, fault_target, fault_cubes, base_attempt = state.fault
+        plan.apply(
+            fault_target,
+            tuple(fault_cubes) + (f"shard:{index}",),
+            base_attempt + state.pool_round,
+            kinds=("kill", "hang"),
+        )
     mapping = state.mapping
     plan = state.plan
     tracer = Tracer() if state.trace else None
@@ -531,10 +566,14 @@ class ShardedStratifiedChase(ParallelStratifiedChase):
     metric, never silently.
 
     ``fault_hook(shard_index)`` — when supplied by the backend — is
-    consulted once per shard before workers launch, so the
-    deterministic fault-injection plan composes with sharding: an
-    injected fault aborts the run exactly like a backend fault and the
-    dispatcher's retry/degradation machinery takes over.
+    consulted once per shard before workers launch (in-process kinds
+    only), so the deterministic fault-injection plan composes with
+    sharding: an injected fault aborts the run exactly like a backend
+    fault and the dispatcher's retry/degradation machinery takes over.
+    ``fault_context`` — ``(plan, target, cubes, attempt)`` — is staged
+    into the workers instead, where the process-level ``kill``/``hang``
+    kinds are delivered and the supervisor (see module docstring)
+    proves it can outlive them.
     """
 
     def __init__(
@@ -549,6 +588,9 @@ class ShardedStratifiedChase(ParallelStratifiedChase):
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         fault_hook=None,
+        fault_context: Optional[Tuple[Any, str, Tuple[str, ...], int]] = None,
+        shard_retries: int = 2,
+        shard_timeout_s: Optional[float] = None,
     ):
         super().__init__(
             mapping,
@@ -562,6 +604,11 @@ class ShardedStratifiedChase(ParallelStratifiedChase):
         )
         self.shards = resolve_shards(shards)
         self.fault_hook = fault_hook
+        self.fault_context = fault_context
+        #: pool-rebuild rounds allowed after the first before quarantine
+        self.shard_retries = max(0, int(shard_retries))
+        #: per-shard result wait; None trusts workers not to wedge
+        self.shard_timeout_s = shard_timeout_s
         self.plan = ShardPlan.analyze(mapping)
 
     # -- orchestration --------------------------------------------------------
@@ -672,27 +719,7 @@ class ShardedStratifiedChase(ParallelStratifiedChase):
                 for s in range(shards):
                     self.fault_hook(s)
             phase_started = time.perf_counter()
-            _WORKER_STATE = _WorkerState(
-                mapping=mapping,
-                plan=plan,
-                payloads=payloads,
-                use_indexes=self.use_indexes,
-                vectorized=self.vectorized,
-                trace=self.tracer.enabled,
-            )
-            try:
-                context = multiprocessing.get_context("fork")
-                with ProcessPoolExecutor(
-                    max_workers=shards, mp_context=context
-                ) as pool:
-                    futures = [
-                        pool.submit(_run_shard, s) for s in range(shards)
-                    ]
-                    results = [future.result() for future in futures]
-            except BrokenProcessPool as broken:
-                raise _ShardFallback("broken-pool") from broken
-            finally:
-                _WORKER_STATE = None
+            results = self._supervise(mapping, plan, payloads, shards)
             for s, result in enumerate(results):
                 worker = result["stats"]
                 stats.shard_tuples.append(worker["tuples_generated"])
@@ -706,6 +733,78 @@ class ShardedStratifiedChase(ParallelStratifiedChase):
                         offset=phase_started - self.tracer.epoch,
                     )
         return results
+
+    def _supervise(
+        self,
+        mapping: SchemaMapping,
+        plan: "ShardPlan",
+        payloads: List[Dict[str, Any]],
+        shards: int,
+    ) -> List[Dict[str, Any]]:
+        """Run the fork pool under supervision, retrying dead shards.
+
+        A worker that dies (SIGKILL, OOM) breaks the entire
+        ``ProcessPoolExecutor``, so each round uses a disposable pool
+        over only the still-pending shards; results gathered before the
+        breakage are kept.  A shard whose result does not arrive within
+        ``shard_timeout_s`` is presumed wedged — its processes are
+        terminated and it retries like a crash.  Exceptions *raised* by
+        a live worker (real chase errors) propagate unchanged.  After
+        ``shard_retries`` rebuild rounds the still-failing shards are
+        quarantined and the whole run falls back to the thread
+        scheduler via :class:`_ShardFallback`.
+        """
+        global _WORKER_STATE
+        context = multiprocessing.get_context("fork")
+        results: List[Optional[Dict[str, Any]]] = [None] * shards
+        pending = list(range(shards))
+        rounds = 0
+        while True:
+            _WORKER_STATE = _WorkerState(
+                mapping=mapping,
+                plan=plan,
+                payloads=payloads,
+                use_indexes=self.use_indexes,
+                vectorized=self.vectorized,
+                trace=self.tracer.enabled,
+                fault=self.fault_context,
+                pool_round=rounds,
+            )
+            # no `with`: a wedged worker must be terminable mid-round,
+            # and shutdown timing differs between the outcomes below
+            pool = ProcessPoolExecutor(
+                max_workers=len(pending), mp_context=context
+            )
+            failed: List[int] = []
+            try:
+                futures = {s: pool.submit(_run_shard, s) for s in pending}
+                for s, future in futures.items():
+                    try:
+                        results[s] = future.result(
+                            timeout=self.shard_timeout_s
+                        )
+                    except BrokenProcessPool:
+                        failed.append(s)
+                    except FuturesTimeout:
+                        self.metrics.inc("chase.shard.timeouts")
+                        failed.append(s)
+                        for process in list(pool._processes.values()):
+                            process.terminate()
+            except BrokenProcessPool:
+                # the pool can break at submit time too (prior round's
+                # kill racing pool start) — everything unfinished retries
+                failed = [s for s in pending if results[s] is None]
+            finally:
+                pool.shutdown(wait=True)
+                _WORKER_STATE = None
+            if not failed:
+                return results
+            pending = sorted(failed)
+            rounds += 1
+            if rounds > self.shard_retries:
+                self.metrics.inc("chase.shard.quarantined", len(pending))
+                raise _ShardFallback("shard-retries-exhausted")
+            self.metrics.inc("chase.shard.retries", len(pending))
 
     def _apply_copy_sharded(
         self,

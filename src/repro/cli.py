@@ -26,7 +26,10 @@ Commands:
 * ``resume``  — finish a partially-failed ``run`` from its state file;
 * ``update``  — incremental run: diff the input CSVs against the last
   run's persisted baseline (``<out>/baseline/``) and recompute only
-  the affected subgraphs, skipping clean ones.
+  the affected subgraphs, skipping clean ones;
+* ``recover`` — replay the write-ahead journal after a hard crash
+  (SIGKILL, OOM, power loss), roll back torn writes, and synthesize a
+  resumable state file from the checksummed committed subgraphs.
 
 Fault tolerance: ``run`` accepts ``--retries`` / ``--deadline`` /
 ``--on-error fail|continue|degrade`` and a deterministic fault-injection
@@ -34,13 +37,25 @@ spec (``--inject-faults``, see :mod:`repro.engine.faults`).  When a run
 ends with failed or skipped subgraphs, the per-subgraph outcomes and
 the committed cubes are persisted next to the outputs
 (``<out>/run-state.json`` + ``<out>/.committed/``); ``resume`` reloads
-them and re-dispatches only the unfinished subgraphs.  Exit codes:
-0 success, 1 error, 3 partial failure (state file written).
+them and re-dispatches only the unfinished subgraphs.
+
+Durability: every durable artifact (run state, outputs, baseline CSVs
+and JSON, sidecars, committed snapshots) is written atomically
+(tmp-file + rename, :mod:`repro.chase.atomic`), and — unless
+``--no-journal`` — every ``run``/``update``/``resume`` keeps a fsynced
+write-ahead journal (``<out>/journal/*.wal``) of its plan and commits,
+so ``exl recover`` + ``exl resume`` reproduce an uninterrupted run
+after a kill at any byte offset.
+
+Exit codes: 0 success, 1 error, 2 usage/nothing-to-do, 3 partial
+failure (state file written), 4 corrupt or truncated state/baseline
+file (quarantine or ``exl recover`` advised).
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import shutil
 import sys
@@ -48,6 +63,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from .backends import all_backends
+from .chase.atomic import atomic_write
 from .chase.persist import (
     attach_lattice_sidecar,
     attach_store_sidecar,
@@ -56,22 +72,29 @@ from .chase.persist import (
     write_lattice_sidecar,
     write_store_sidecar,
 )
-from .engine import EXLEngine
+from .engine import EXLEngine, RunJournal
+from .engine import recover as recover_out_dir
 from .engine.history import COMMITTED_OUTCOMES
 from .errors import ReproError
 from .exl import Program
 from .mappings import generate_mapping, simplify_mapping
 from .model import Cube, CubeSchema, Dimension, Schema
 from .model.io import (
+    cube_from_csv_text,
+    cube_to_csv_text,
     parse_dim_value,
     parse_dimtype,
     read_cube_csv,
-    write_cube_csv,
 )
 from .obs import MetricsRegistry, Tracer
 from .olap import format_measure
 
 __all__ = ["main", "load_project"]
+
+#: exit code for a corrupt/truncated run-state or baseline JSON file —
+#: distinct from 1 (error) and 3 (resumable partial failure) so scripts
+#: can route to ``exl recover`` instead of retrying blindly
+EXIT_CORRUPT_STATE = 4
 
 
 class Project:
@@ -168,6 +191,7 @@ def _build_engine(
     tracer=None,
     metrics=None,
     backoff_s=None,
+    journal=None,
 ) -> EXLEngine:
     engine = EXLEngine(
         parallel=parallel,
@@ -178,6 +202,7 @@ def _build_engine(
         tracer=tracer,
         metrics=metrics,
         backoff_s=backoff_s,
+        journal=journal,
     )
     for schema in project.schemas:
         engine.declare_elementary(schema)
@@ -224,6 +249,48 @@ def _state_path(args, out_dir: Path) -> Path:
     return Path(args.state) if args.state else out_dir / "run-state.json"
 
 
+def _journal_for(args, out_dir: Path) -> Optional[RunJournal]:
+    """The run's write-ahead journal, unless ``--no-journal``."""
+    if getattr(args, "no_journal", False):
+        return None
+    return RunJournal(out_dir)
+
+
+def _load_state_json(
+    path: Path, kind: str, out_dir: Path
+) -> Optional[Dict[str, Any]]:
+    """Parse a state/baseline JSON file, or None when it is corrupt.
+
+    Torn, truncated, empty, or unreadable files — the debris a hard
+    crash leaves without atomic writes — are reported with the
+    offending path and a recovery hint instead of tracebacking; the
+    caller exits with :data:`EXIT_CORRUPT_STATE`.
+    """
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(
+            f"corrupt {kind} at {path}: {exc}",
+            file=sys.stderr,
+        )
+        print(
+            f"inspect or delete it, or try: exl recover --out {out_dir}",
+            file=sys.stderr,
+        )
+        return None
+    if not isinstance(data, dict) or not isinstance(data.get("record"), dict):
+        print(
+            f"corrupt {kind} at {path}: not a run-state document",
+            file=sys.stderr,
+        )
+        print(
+            f"inspect or delete it, or try: exl recover --out {out_dir}",
+            file=sys.stderr,
+        )
+        return None
+    return data
+
+
 def _merged_state_record(previous: Optional[Dict[str, Any]], record) -> Dict[str, Any]:
     """Fold a (possibly resumed) run into the persisted record.
 
@@ -243,24 +310,29 @@ def _merged_state_record(previous: Optional[Dict[str, Any]], record) -> Dict[str
 
 def _persist_state(engine, state_record: Dict[str, Any], out_dir: Path,
                    state_path: Path) -> None:
-    """Write the resumable state: outcomes + committed cube snapshots."""
+    """Write the resumable state: outcomes + committed cube snapshots.
+
+    Both the snapshots and the state file are written atomically, so a
+    crash during persistence can never leave a torn file that a later
+    ``resume`` would misread — at worst the state file simply does not
+    exist yet and the journal is still authoritative.
+    """
     committed_dir = out_dir / ".committed"
-    committed_dir.mkdir(parents=True, exist_ok=True)
     committed: Dict[str, str] = {}
     for sub in state_record["subgraphs"]:
         if sub["outcome"] in COMMITTED_OUTCOMES:
             for name in sub["cubes"]:
                 destination = committed_dir / f"{name}.csv"
-                write_cube_csv(engine.data(name), destination)
+                atomic_write(destination, cube_to_csv_text(engine.data(name)))
                 committed[name] = str(destination.relative_to(out_dir))
-    state_path.parent.mkdir(parents=True, exist_ok=True)
-    state_path.write_text(
+    atomic_write(
+        state_path,
         json.dumps({"record": state_record, "committed": committed}, indent=2)
-        + "\n"
+        + "\n",
     )
 
 
-def _write_outputs(engine, project, record, out_dir: Path) -> None:
+def _write_outputs(engine, project, record, out_dir: Path, journal=None) -> None:
     names = project.outputs or list(
         dict.fromkeys(
             cube for sub in record["subgraphs"] for cube in sub["cubes"]
@@ -272,12 +344,27 @@ def _write_outputs(engine, project, record, out_dir: Path) -> None:
             continue
         cube = engine.data(name)
         destination = out_dir / f"{name}.csv"
-        write_cube_csv(cube, destination)
+        text = journal.snapshot_text(name) if journal is not None else None
+        if text is None:
+            text = cube_to_csv_text(cube)
+        atomic_write(destination, text)
+        if journal is not None:
+            journal.sidecar_write(
+                "output", destination,
+                hashlib.sha256(text.encode("utf-8")).hexdigest(),
+            )
         print(f"wrote {destination} ({len(cube)} tuples)")
 
 
-def _finish_run(engine, project, record, previous_state, args) -> int:
-    """Shared run/resume epilogue: outputs, state file, exit code."""
+def _finish_run(engine, project, record, previous_state, args,
+                journal=None) -> int:
+    """Shared run/resume epilogue: outputs, state file, exit code.
+
+    Success (0) leaves the state file, committed snapshots, and journal
+    in place — :func:`_finalize_success` removes them only after the
+    baseline is durably persisted, so a crash anywhere in the epilogue
+    stays recoverable.
+    """
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     state_record = _merged_state_record(
@@ -288,9 +375,12 @@ def _finish_run(engine, project, record, previous_state, args) -> int:
         s for s in state_record["subgraphs"]
         if s["outcome"] not in COMMITTED_OUTCOMES
     ]
-    _write_outputs(engine, project, state_record, out_dir)
+    _write_outputs(engine, project, state_record, out_dir, journal=journal)
     if unfinished:
         _persist_state(engine, state_record, out_dir, state_path)
+        if journal is not None:
+            # the durably-written state file now supersedes the journal
+            journal.discard()
         print(
             f"partial failure: {len(unfinished)} subgraph(s) unfinished; "
             f"state written to {state_path} — finish with: "
@@ -298,12 +388,25 @@ def _finish_run(engine, project, record, previous_state, args) -> int:
             file=sys.stderr,
         )
         return 3
+    return 0
+
+
+def _finalize_success(out_dir: Path, state_path: Path, journal=None) -> None:
+    """Drop crash artifacts once the baseline fully supersedes them.
+
+    ``run-complete`` goes into the journal *first*: if the process dies
+    mid-cleanup, ``exl recover`` sees the marker and finishes the
+    removal instead of resurrecting a stale state file.
+    """
+    if journal is not None:
+        journal.run_complete()
     if state_path.exists():
         state_path.unlink()
     committed_dir = out_dir / ".committed"
     if committed_dir.is_dir():
         shutil.rmtree(committed_dir)
-    return 0
+    if journal is not None:
+        journal.discard()
 
 
 def _baseline_paths(out_dir: Path):
@@ -311,7 +414,7 @@ def _baseline_paths(out_dir: Path):
     return baseline_dir, baseline_dir / "baseline.json"
 
 
-def _persist_baseline(engine, record, out_dir: Path) -> None:
+def _persist_baseline(engine, record, out_dir: Path, journal=None) -> None:
     """Snapshot the finished run for a later ``exl update``.
 
     Writes every cube with data (elementary and derived) as a CSV under
@@ -321,6 +424,10 @@ def _persist_baseline(engine, record, out_dir: Path) -> None:
     gets a columnar sidecar (``baseline/columnar/<name>.json``) holding
     the cube's dictionaries and key codes, so the next process attaches
     the encoded columns instead of re-encoding unchanged relations.
+
+    All files are written atomically, and ``baseline.json`` is written
+    *last* — a crash mid-baseline leaves no ``baseline.json``, which
+    ``update`` already treats as "no baseline", never a torn one.
     """
     baseline_dir, baseline_file = _baseline_paths(out_dir)
     baseline_dir.mkdir(parents=True, exist_ok=True)
@@ -329,7 +436,15 @@ def _persist_baseline(engine, record, out_dir: Path) -> None:
         if not engine.catalog.has_data(name):
             continue
         destination = baseline_dir / f"{name}.csv"
-        write_cube_csv(engine.data(name), destination)
+        text = journal.snapshot_text(name) if journal is not None else None
+        if text is None:
+            text = cube_to_csv_text(engine.data(name))
+        atomic_write(destination, text)
+        if journal is not None:
+            journal.sidecar_write(
+                "baseline", destination,
+                hashlib.sha256(text.encode("utf-8")).hexdigest(),
+            )
         write_store_sidecar(
             engine.data(name), destination, sidecar_path_for(baseline_dir, name)
         )
@@ -340,16 +455,20 @@ def _persist_baseline(engine, record, out_dir: Path) -> None:
                 olap_sidecar_path_for(baseline_dir, name),
             )
         cubes[name] = destination.name
-    baseline_file.write_text(
+    atomic_write(
+        baseline_file,
         json.dumps({"record": record.to_json(), "cubes": cubes}, indent=2)
-        + "\n"
+        + "\n",
     )
+    if journal is not None:
+        journal.sidecar_write("baseline-index", baseline_file)
 
 
 def cmd_update(args) -> int:
     project = load_project(args.project)
     out_dir = Path(args.out)
     baseline_dir, baseline_file = _baseline_paths(out_dir)
+    journal = _journal_for(args, out_dir)
     engine = _build_engine(
         project,
         parallel=args.parallel,
@@ -358,6 +477,7 @@ def cmd_update(args) -> int:
         chase_cache=not args.no_chase_cache,
         vectorize=not args.no_vectorize,
         backoff_s=args.backoff,
+        journal=journal,
     )
     if not baseline_file.exists():
         print(
@@ -371,11 +491,14 @@ def cmd_update(args) -> int:
             fault_plan=_fault_plan_from(args),
         )
         print(record.summary())
-        code = _finish_run(engine, project, record, None, args)
+        code = _finish_run(engine, project, record, None, args, journal=journal)
         if code == 0:
-            _persist_baseline(engine, record, out_dir)
+            _persist_baseline(engine, record, out_dir, journal=journal)
+            _finalize_success(out_dir, _state_path(args, out_dir), journal)
         return code
-    state = json.loads(baseline_file.read_text())
+    state = _load_state_json(baseline_file, "baseline", out_dir)
+    if state is None:
+        return EXIT_CORRUPT_STATE
     baseline_run_id = state["record"].get("run_id")
     if args.against is not None and args.against != baseline_run_id:
         print(
@@ -407,6 +530,7 @@ def cmd_update(args) -> int:
                 engine.data(name),
                 baseline_dir / rel_path,
                 sidecar_path_for(baseline_dir, name),
+                metrics=engine.metrics,
             )
     # re-admit the baseline's derived cubes: unchanged subgraphs then
     # keep these versions (skipped with outcome "clean") instead of
@@ -420,6 +544,7 @@ def cmd_update(args) -> int:
                 cube,
                 baseline_dir / rel_path,
                 sidecar_path_for(baseline_dir, name),
+                metrics=engine.metrics,
             )
             engine.catalog.store.put(cube)
     restored = engine.runs.restore(state["record"])
@@ -437,16 +562,19 @@ def cmd_update(args) -> int:
         fault_plan=_fault_plan_from(args),
     )
     print(record.summary())
-    code = _finish_run(engine, project, record, None, args)
+    code = _finish_run(engine, project, record, None, args, journal=journal)
     if code == 0:
-        _persist_baseline(engine, record, out_dir)
+        _persist_baseline(engine, record, out_dir, journal=journal)
+        _finalize_success(out_dir, _state_path(args, out_dir), journal)
     return code
 
 
 def cmd_run(args) -> int:
     project = load_project(args.project)
+    out_dir = Path(args.out)
     tracer = Tracer() if args.trace else None
     metrics = MetricsRegistry() if (args.trace or args.metrics) else None
+    journal = _journal_for(args, out_dir)
     engine = _build_engine(
         project,
         parallel=args.parallel,
@@ -457,6 +585,7 @@ def cmd_run(args) -> int:
         tracer=tracer,
         metrics=metrics,
         backoff_s=args.backoff,
+        journal=journal,
     )
     try:
         record = engine.run(
@@ -470,11 +599,12 @@ def cmd_run(args) -> int:
         # outcomes, so persist the resumable state before surfacing it
         record = engine.runs.last()
         if record is not None and record.subgraphs:
-            out_dir = Path(args.out)
             out_dir.mkdir(parents=True, exist_ok=True)
             _persist_state(
                 engine, record.to_json(), out_dir, _state_path(args, out_dir)
             )
+            if journal is not None:
+                journal.discard()
             print(
                 f"run aborted; state written to {_state_path(args, out_dir)}",
                 file=sys.stderr,
@@ -493,9 +623,10 @@ def cmd_run(args) -> int:
     if args.metrics:
         print("\nmetrics:")
         print(engine.metrics.render())
-    code = _finish_run(engine, project, record, None, args)
+    code = _finish_run(engine, project, record, None, args, journal=journal)
     if code == 0:
-        _persist_baseline(engine, record, out_dir=Path(args.out))
+        _persist_baseline(engine, record, out_dir=out_dir, journal=journal)
+        _finalize_success(out_dir, _state_path(args, out_dir), journal)
     return code
 
 
@@ -506,7 +637,10 @@ def cmd_resume(args) -> int:
     if not state_path.exists():
         print(f"no run state at {state_path}: nothing to resume", file=sys.stderr)
         return 2
-    state = json.loads(state_path.read_text())
+    state = _load_state_json(state_path, "run state", out_dir)
+    if state is None:
+        return EXIT_CORRUPT_STATE
+    journal = _journal_for(args, out_dir)
     engine = _build_engine(
         project,
         parallel=args.parallel,
@@ -515,13 +649,38 @@ def cmd_resume(args) -> int:
         chase_cache=not args.no_chase_cache,
         vectorize=not args.no_vectorize,
         backoff_s=args.backoff,
+        journal=journal,
     )
     # re-admit the committed cubes of the interrupted run, then its
     # record; resume() re-dispatches only the failed/skipped subgraphs
     for name, rel_path in state.get("committed", {}).items():
-        cube = read_cube_csv(engine.catalog.schema_of(name), out_dir / rel_path)
+        text = (out_dir / rel_path).read_bytes().decode("utf-8")
+        cube = cube_from_csv_text(engine.catalog.schema_of(name), text)
         engine.catalog.store.put(cube)
+        if journal is not None:
+            # the snapshot text is in hand; let the epilogue reuse it
+            # instead of re-serializing the re-admitted cube
+            journal.adopt_snapshot(name, text)
     restored = engine.runs.restore(state["record"])
+    todo = [
+        s for s in state["record"].get("subgraphs", [])
+        if s.get("outcome") not in COMMITTED_OUTCOMES
+    ]
+    if not todo:
+        # every subgraph already committed (e.g. the crash hit after the
+        # last commit but before cleanup): skip the dispatch entirely
+        # and just re-run the durable epilogue
+        print(
+            f"run {restored.run_id}: all subgraphs already committed; "
+            f"finalizing outputs"
+        )
+        code = _finish_run(
+            engine, project, restored, state, args, journal=journal
+        )
+        if code == 0:
+            _persist_baseline(engine, restored, out_dir=out_dir, journal=journal)
+            _finalize_success(out_dir, state_path, journal)
+        return code
     before = {
         name: len(engine.catalog.store.versions(name))
         for name in engine.catalog.store.names()
@@ -544,10 +703,34 @@ def cmd_resume(args) -> int:
     if recomputed:  # pragma: no cover - guarded by the dispatcher
         print(f"warning: recomputed already-committed cubes {recomputed}",
               file=sys.stderr)
-    code = _finish_run(engine, project, record, state, args)
+    code = _finish_run(engine, project, record, state, args, journal=journal)
     if code == 0:
-        _persist_baseline(engine, record, out_dir=out_dir)
+        _persist_baseline(engine, record, out_dir=out_dir, journal=journal)
+        _finalize_success(out_dir, state_path, journal)
     return code
+
+
+def cmd_recover(args) -> int:
+    """Replay the write-ahead journal after a hard crash.
+
+    Rolls back torn writes, re-admits commits whose on-disk bytes still
+    match their journalled checksums, and synthesizes a resumable
+    ``run-state.json`` from the rest, so ``exl resume`` can finish the
+    run no matter where the process died.
+    """
+    out_dir = Path(args.out)
+    if not out_dir.exists():
+        print(f"no output directory at {out_dir}: nothing to recover",
+              file=sys.stderr)
+        return 2
+    state_path = Path(args.state) if args.state else None
+    report = recover_out_dir(out_dir, state_path=state_path)
+    print(report.summary())
+    if report.status == "resumable":
+        print(
+            f"finish the run with: exl resume {args.project} --out {out_dir}"
+        )
+    return report.exit_code
 
 
 def _parse_assignments(text: Optional[str], what: str) -> Dict[str, str]:
@@ -584,14 +767,17 @@ def cmd_query(args) -> int:
     # without re-running; elementary project CSVs are already loaded
     cube_csvs: Dict[str, Path] = {}
     if baseline_file.exists():
-        state = json.loads(baseline_file.read_text())
+        state = _load_state_json(baseline_file, "baseline", out_dir)
+        if state is None:
+            return EXIT_CORRUPT_STATE
         for name, rel_path in state.get("cubes", {}).items():
             if name not in engine.catalog:
                 continue
             path = baseline_dir / rel_path
             cube = read_cube_csv(engine.catalog.schema_of(name), path)
             attach_store_sidecar(
-                cube, path, sidecar_path_for(baseline_dir, name)
+                cube, path, sidecar_path_for(baseline_dir, name),
+                metrics=engine.metrics,
             )
             engine.catalog.store.put(cube)
             cube_csvs[name] = path
@@ -619,6 +805,7 @@ def cmd_query(args) -> int:
             csv_path,
             olap_sidecar_path_for(baseline_dir, name),
             version=engine.catalog.store.latest_version(name),
+            metrics=engine.metrics,
         )
         if attached:
             service._live[name] = lattice
@@ -795,6 +982,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             help="run-state file for resumable partial failures "
             "(default: <out>/run-state.json)",
         )
+        command.add_argument(
+            "--no-journal",
+            action="store_true",
+            help="skip the durable write-ahead journal "
+            "(<out>/journal/*.wal); crashes then lose in-flight "
+            "progress and 'exl recover' has nothing to replay",
+        )
 
     run = sub.add_parser("run", help="execute the program and export CSVs")
     run.add_argument("project")
@@ -841,6 +1035,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(defensive pin; default: accept whatever baseline is there)",
     )
     update.set_defaults(func=cmd_update)
+
+    recover_cmd = sub.add_parser(
+        "recover",
+        help="replay the write-ahead journal after a hard crash: roll "
+        "back torn files, keep checksummed commits, and write a "
+        "run-state.json that 'exl resume' can finish from",
+    )
+    recover_cmd.add_argument("project")
+    recover_cmd.add_argument(
+        "--out", default="out", help="output directory of the crashed run"
+    )
+    recover_cmd.add_argument(
+        "--state",
+        metavar="FILE",
+        help="where to write the recovered run state "
+        "(default: <out>/run-state.json)",
+    )
+    recover_cmd.set_defaults(func=cmd_recover)
 
     query = sub.add_parser(
         "query",

@@ -17,6 +17,7 @@ from .dispatcher import ON_ERROR_MODES, Dispatcher, default_fallback_chains
 from .exlengine import EXLEngine
 from .faults import FaultPlan, FaultRule, FaultyBackend, parse_fault_spec
 from .history import COMMITTED_OUTCOMES, RunLog, RunRecord, SubgraphRecord
+from .journal import RecoveryReport, RunJournal, recover, replay_journal
 from .translation import TranslatedSubgraph, TranslationEngine
 
 __all__ = [
@@ -37,5 +38,9 @@ __all__ = [
     "RunLog",
     "SubgraphRecord",
     "COMMITTED_OUTCOMES",
+    "RunJournal",
+    "RecoveryReport",
+    "recover",
+    "replay_journal",
     "EXLEngine",
 ]

@@ -115,9 +115,15 @@ class Dispatcher:
         retranslate=None,
         delta: bool = False,
         dirty: Optional[Sequence[str]] = None,
+        journal=None,
     ):
         self.catalog = catalog
         self.graph = graph
+        #: optional :class:`repro.engine.journal.RunJournal` — when set,
+        #: every subgraph logs its dispatch before executing and its
+        #: commit *after* the cubes are durably snapshotted, so a hard
+        #: crash can be rolled forward by ``exl recover``
+        self.journal = journal
         #: incremental mode (EXLEngine.update): subgraphs whose inputs
         #: all stayed clean are skipped with outcome "clean"; executed
         #: chase subgraphs go through ``run_mapping_delta`` and their
@@ -335,7 +341,7 @@ class Dispatcher:
                     n: self.catalog.store.latest_version(n) for n in cubes
                 }
                 self.metrics.inc("dispatch.clean")
-                return SubgraphRecord(
+                clean_record = SubgraphRecord(
                     cubes,
                     item.subgraph.target,
                     0.0,
@@ -344,7 +350,17 @@ class Dispatcher:
                     outcome="clean",
                     attempts=0,
                 )
+                if self.journal is not None:
+                    # a clean replay is still a commit the resume path
+                    # must be able to re-admit after a crash
+                    self.journal.commit_subgraph(
+                        clean_record,
+                        {n: self.catalog.data(n) for n in cubes},
+                    )
+                return clean_record
 
+        if self.journal is not None:
+            self.journal.subgraph_dispatch(cubes, item.subgraph.target)
         start = time.perf_counter()
         attempts = 0
         recovered_error: Optional[str] = None
@@ -446,7 +462,7 @@ class Dispatcher:
                         self._dirty.add(name)
                 self._computed_this_run.add(name)
         self.metrics.observe("dispatch.subgraph.duration_s", duration)
-        return SubgraphRecord(
+        sub_record = SubgraphRecord(
             cubes,
             item.subgraph.target,
             duration,
@@ -457,6 +473,12 @@ class Dispatcher:
             error=recovered_error,
             executed_target=executed_target,
         )
+        if self.journal is not None:
+            # snapshot-then-log: the cubes hit disk atomically before
+            # the staged-commit record vouches for them, so recovery
+            # never re-admits bytes the crash tore
+            self.journal.commit_subgraph(sub_record, dict(staged))
+        return sub_record
 
     def _note_delta(self, stats) -> None:
         """Fold one subgraph's delta statistics into the run totals."""

@@ -58,6 +58,7 @@ class EXLEngine:
         backoff_s: Optional[float] = None,
         fallback: Optional[Dict[str, Sequence[str]]] = None,
         fault_plan: Optional[FaultPlan] = None,
+        journal=None,
     ):
         self.registry = registry or default_registry()
         self.backends = backends or all_backends()
@@ -75,6 +76,11 @@ class EXLEngine:
         self.backoff_s = backoff_s
         self.fallback = fallback
         self.fault_plan = fault_plan
+        #: optional :class:`repro.engine.journal.RunJournal`; when set,
+        #: every dispatch write-ahead-logs its plan and commits so
+        #: :meth:`recover` can roll a hard crash forward (the CLI wires
+        #: this for every ``exl run``/``update``/``resume``)
+        self.journal = journal
         #: worker threads for parallel waves (dispatcher and chase scheduler)
         self.jobs = max(1, int(jobs))
         #: worker processes for sharded chase runs (0 = one per core,
@@ -498,7 +504,12 @@ class EXLEngine:
             retranslate=self.translator.for_target,
             delta=delta,
             dirty=dirty,
+            journal=self.journal,
         )
+        if self.journal is not None:
+            # write-ahead: the full plan is durable before any subgraph
+            # runs, so recovery knows exactly what a crash interrupted
+            self.journal.run_start(record, translated)
         t2 = time.perf_counter()
         try:
             with self.tracer.span("dispatch", category="engine"):
@@ -510,6 +521,8 @@ class EXLEngine:
             self.metrics.inc("engine.runs.failed")
             self._record_baselines(record)
             self.runs.close(record)
+            if self.journal is not None:
+                self.journal.run_end(record.run_id, record.error)
             raise
         self.metrics.observe("engine.dispatch_s", time.perf_counter() - t2)
         if delta:
@@ -548,7 +561,23 @@ class EXLEngine:
         if self.olap is not None:
             with self.tracer.span("olap-refresh", category="engine"):
                 self.olap.on_commit(record, dispatcher.committed_versions)
+        if self.journal is not None:
+            self.journal.run_end(record.run_id, record.error)
         return record
+
+    @staticmethod
+    def recover(out_dir):
+        """Replay ``out_dir``'s write-ahead journal after a hard crash.
+
+        Returns a :class:`repro.engine.journal.RecoveryReport`; see
+        :func:`repro.engine.journal.recover` for the algorithm.  The
+        report's ``status`` says whether the directory was already
+        consistent, fully persisted, or left a synthesized
+        ``run-state.json`` for :meth:`resume` / ``exl resume``.
+        """
+        from .journal import recover as _recover
+
+        return _recover(out_dir)
 
     def _record_baselines(self, record: RunRecord) -> None:
         """Pin the store versions this run left behind, so a later

@@ -24,11 +24,12 @@ Spec grammar (rules separated by ``;``)::
     SPEC  := RULE [ ";" RULE ]...
     RULE  := TARGET ":" KIND [ ":" OPT ]...
     TARGET:= backend name | "*"
-    KIND  := "transient" | "permanent" | "delay"
+    KIND  := "transient" | "permanent" | "delay" | "kill" | "hang"
     OPT   := "p=" FLOAT      probability per attempt   (default 1.0)
            | "n=" INT        fire only on the first N attempts
            | "after=" INT    fire only from attempt N on (0-based)
-           | "delay=" FLOAT  seconds to sleep (kind "delay", default 0.05)
+           | "delay=" FLOAT  seconds to sleep (kinds "delay"/"hang";
+                             defaults 0.05 / 30.0)
            | "cubes=" A+B    only for subgraphs computing these cubes
 
 Examples::
@@ -37,11 +38,24 @@ Examples::
     sql:permanent                # the SQL backend is down for good
     r:transient:n=2              # first two attempts fail, then recover
     chase:delay:delay=0.2:p=0.5  # half the chase runs stall 200ms
+    *:kill:p=0.4                 # SIGKILL the process at random points
+    chase:hang:delay=60:n=1      # one worker wedges for 60s
+
+The process-level kinds back the crash-recovery and shard-supervision
+harnesses: ``kill`` sends the *current process* an uncatchable SIGKILL
+(the crash-chaos tests run ``exl run`` in a subprocess and let the plan
+kill it mid-run; the shard pool delivers it inside forked workers), and
+``hang`` sleeps long enough to trip the shard supervisor's timeout.
+Callers that must not die — the dispatcher's parent-side shard hook, for
+instance — pass ``kinds=`` to :meth:`FaultPlan.apply` to restrict which
+kinds may fire at that site.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -54,6 +68,7 @@ from ..errors import (
 )
 
 __all__ = [
+    "ERROR_KINDS",
     "FaultRule",
     "FaultPlan",
     "FaultyBackend",
@@ -68,7 +83,14 @@ __all__ = [
 TRANSIENT = "transient"
 PERMANENT = "permanent"
 DELAY = "delay"
-_KINDS = (TRANSIENT, PERMANENT, DELAY)
+KILL = "kill"  # SIGKILL the current process — uncatchable, for crash tests
+HANG = "hang"  # wedge the current thread long enough to trip supervision
+_KINDS = (TRANSIENT, PERMANENT, DELAY, KILL, HANG)
+
+#: the in-process kinds — safe to deliver anywhere (they raise or sleep
+#: briefly); the complement, (KILL, HANG), only belongs in expendable
+#: processes such as forked shard workers or subprocess harness runs
+ERROR_KINDS = (TRANSIENT, PERMANENT, DELAY)
 
 
 @dataclass(frozen=True)
@@ -124,7 +146,7 @@ class FaultPlan:
         self.rules: List[FaultRule] = list(rules)
         self.seed = seed
         #: injection counts by kind, for assertions and reporting
-        self.injected: Dict[str, int] = {TRANSIENT: 0, PERMANENT: 0, DELAY: 0}
+        self.injected: Dict[str, int] = {kind: 0 for kind in _KINDS}
         self._lock = threading.Lock()
 
     def would_fire(
@@ -148,14 +170,21 @@ class FaultPlan:
         cubes: Tuple[str, ...],
         attempt: int,
         metrics=None,
+        kinds: Optional[Tuple[str, ...]] = None,
     ) -> None:
         """Inject whatever the plan dictates for this attempt.
 
-        Delays sleep; transient/permanent rules raise (permanent wins if
-        both fire).  ``metrics`` receives ``faults.injected`` plus a
-        per-kind counter for every fault that fires.
+        Delays and hangs sleep; ``kill`` SIGKILLs the current process;
+        transient/permanent rules raise (permanent wins if both fire).
+        ``kinds`` restricts which rule kinds may fire at this call site
+        (``None`` means all) — the parent-side dispatch path filters to
+        :data:`ERROR_KINDS` so process-level faults only ever land in
+        expendable processes.  ``metrics`` receives ``faults.injected``
+        plus a per-kind counter for every fault that fires.
         """
         fired = self.would_fire(target, tuple(cubes), attempt)
+        if kinds is not None:
+            fired = [rule for rule in fired if rule.kind in kinds]
         raise_kind = None
         for rule in fired:
             with self._lock:
@@ -163,7 +192,9 @@ class FaultPlan:
             if metrics is not None:
                 metrics.inc("faults.injected")
                 metrics.inc(f"faults.injected.kind:{rule.kind}")
-            if rule.kind == DELAY:
+            if rule.kind == KILL:
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif rule.kind in (DELAY, HANG):
                 time.sleep(rule.delay_s)
             elif rule.kind == PERMANENT:
                 raise_kind = PERMANENT
@@ -246,6 +277,8 @@ def parse_fault_spec(spec: str, seed: int = 0) -> FaultPlan:
                 raise EngineError(
                     f"unknown fault option {key!r} in rule {chunk!r}"
                 )
+        if kind == HANG and "delay_s" not in options:
+            options["delay_s"] = 30.0  # long enough to trip any supervisor
         rules.append(FaultRule(target=target, kind=kind, **options))
     if not rules:
         raise EngineError(f"fault spec {spec!r} contains no rules")

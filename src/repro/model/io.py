@@ -88,8 +88,22 @@ def write_cube_csv(cube: Cube, destination: Union[str, Path, TextIO]) -> None:
 def _write(cube: Cube, handle: TextIO) -> None:
     writer = csv.writer(handle)
     writer.writerow(cube.schema.columns)
+    # Dimension values repeat heavily across rows (a 600-quarter x
+    # 200-region cube has 800 distinct values over 240k cells), so
+    # memoize their str() form per call.
+    formatted: dict = {}
     for row in cube.to_rows():
-        writer.writerow([str(v) if not isinstance(v, float) else repr(v) for v in row[:-1]] + [repr(row[-1])])
+        cells = []
+        for v in row[:-1]:
+            if isinstance(v, float):
+                cells.append(repr(v))
+                continue
+            text = formatted.get(v)
+            if text is None:
+                text = formatted[v] = str(v)
+            cells.append(text)
+        cells.append(repr(row[-1]))
+        writer.writerow(cells)
 
 
 def read_cube_csv(schema: CubeSchema, source: Union[str, Path, TextIO]) -> Cube:
@@ -112,6 +126,11 @@ def _read(schema: CubeSchema, handle: TextIO) -> Cube:
             f"CSV header {header} does not match cube columns {expected}"
         )
     cube = Cube(schema)
+    # Memoize parsed dimension values per column: the same time points
+    # and labels recur on every row, and parse_timepoint dominates the
+    # read cost when re-parsed per cell.
+    dtypes = [dim.dtype for dim in schema.dimensions]
+    caches: list = [{} for _ in dtypes]
     for line_number, row in enumerate(reader, start=2):
         if not row or all(not cell.strip() for cell in row):
             continue
@@ -120,14 +139,17 @@ def _read(schema: CubeSchema, handle: TextIO) -> Cube:
                 f"line {line_number}: {len(row)} fields for {len(expected)} columns"
             )
         try:
-            key = tuple(
-                _parse_value(dim.dtype, cell.strip())
-                for dim, cell in zip(schema.dimensions, row)
-            )
+            key = []
+            for dtype, cache, cell in zip(dtypes, caches, row):
+                text = cell.strip()
+                parsed = cache.get(text)
+                if parsed is None:
+                    parsed = cache[text] = _parse_value(dtype, text)
+                key.append(parsed)
             value = float(row[-1])
         except (ValueError, ModelError) as exc:
             raise ModelError(f"line {line_number}: {exc}") from exc
-        cube.set(key, value)
+        cube.set(tuple(key), value)
     return cube
 
 

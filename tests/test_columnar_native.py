@@ -706,3 +706,70 @@ def _dimtype_spec(dimension):
     from repro.model.io import format_dimtype
 
     return format_dimtype(dimension.dtype)
+
+
+class TestUnreadableSidecar:
+    """An unreadable or garbage sidecar is a *counted* cache miss
+    (``chase.sidecar.fallback.reason:sidecar-unreadable``), never a
+    traceback; a merely absent sidecar stays silent."""
+
+    def _paths(self, tmp_path):
+        workload = gdp_example(n_quarters=6, regions=("north",), seed=2)
+        cube = workload.data["PDR"]
+        csv_path = tmp_path / "PDR.csv"
+        write_cube_csv(cube, csv_path)
+        return cube, csv_path, sidecar_path_for(tmp_path, "PDR")
+
+    def test_unreadable_sidecar_counted(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        cube, csv_path, sidecar = self._paths(tmp_path)
+        sidecar.mkdir(parents=True)  # reading a directory raises OSError
+        metrics = MetricsRegistry()
+        assert (
+            read_store_sidecar(
+                cube.schema, csv_path, sidecar, metrics=metrics
+            )
+            is None
+        )
+        assert (
+            metrics.value(
+                "chase.sidecar.fallback.reason:sidecar-unreadable"
+            )
+            == 1
+        )
+
+    def test_garbage_sidecar_counted(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        cube, csv_path, sidecar = self._paths(tmp_path)
+        sidecar.parent.mkdir(parents=True, exist_ok=True)
+        sidecar.write_text('{"torn": ')
+        metrics = MetricsRegistry()
+        assert not attach_store_sidecar(
+            cube.copy(), csv_path, sidecar, metrics=metrics
+        )
+        assert (
+            metrics.value(
+                "chase.sidecar.fallback.reason:sidecar-unreadable"
+            )
+            == 1
+        )
+
+    def test_missing_sidecar_is_a_silent_miss(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        cube, csv_path, sidecar = self._paths(tmp_path)
+        metrics = MetricsRegistry()
+        assert (
+            read_store_sidecar(
+                cube.schema, csv_path, sidecar, metrics=metrics
+            )
+            is None
+        )
+        assert (
+            metrics.value(
+                "chase.sidecar.fallback.reason:sidecar-unreadable"
+            )
+            == 0
+        )

@@ -1,0 +1,420 @@
+"""Crash-safety suite: atomic writes, the write-ahead journal, and
+seeded kill -9 recovery.
+
+Three layers, bottom up:
+
+- ``repro.chase.atomic``: tmp-write + rename atomicity and the stray
+  tmp sweep;
+- ``repro.engine.journal``: checksummed replay (torn tails dropped,
+  never misread) and the ``recover`` algorithm (verify commits by
+  content hash, roll back torn snapshots, synthesize a resumable
+  ``run-state.json``);
+- the end-to-end harness: ``exl run`` in a subprocess, SIGKILLed at
+  seeded-random dispatch points via the ``kill`` fault kind, then
+  ``exl recover`` + ``exl resume`` must converge to the uninterrupted
+  run's outputs, byte for byte, across >= 20 seeds.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chase.atomic import TMP_SUFFIX, atomic_write, remove_stray_tmp
+from repro.cli import main as cli_main
+from repro.engine.journal import (
+    RunJournal,
+    recover,
+    replay_journal,
+)
+from repro.model import STRING, Cube, CubeSchema, Dimension
+
+
+def _cube(name="A", values=(1.5, -2.0, 3.25)):
+    schema = CubeSchema(name, [Dimension("r", STRING)], "v")
+    cube = Cube(schema)
+    for index, value in enumerate(values):
+        cube.set((f"r{index}",), value)
+    return cube
+
+
+def _run_record(run_id=1, trigger=("S",), affected=("A", "B")):
+    return SimpleNamespace(
+        run_id=run_id, trigger=list(trigger), affected=list(affected)
+    )
+
+
+def _planned(cubes, target="chase"):
+    return SimpleNamespace(
+        subgraph=SimpleNamespace(cubes=tuple(cubes), target=target)
+    )
+
+
+def _sub_record(cubes, outcome="ok"):
+    payload = {
+        "cubes": list(cubes),
+        "target": "chase",
+        "duration_s": 0.01,
+        "tuples_written": 3,
+        "versions": {},
+        "outcome": outcome,
+        "attempts": 1,
+        "error": None,
+    }
+    return SimpleNamespace(to_json=lambda: payload)
+
+
+class TestAtomicWrite:
+    def test_text_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "f.txt"
+        atomic_write(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_binary_roundtrip(self, tmp_path):
+        path = tmp_path / "f.bin"
+        atomic_write(path, b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_overwrite_replaces_whole_content(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_write(path, "a much longer first version\n")
+        atomic_write(path, "v2\n")
+        assert path.read_text() == "v2\n"
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        atomic_write(tmp_path / "f.txt", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["f.txt"]
+
+    def test_crlf_preserved_in_text_mode(self, tmp_path):
+        # cube CSVs use \r\n terminators; text mode must not translate
+        path = tmp_path / "f.csv"
+        atomic_write(path, "a,b\r\n1,2\r\n")
+        assert path.read_bytes() == b"a,b\r\n1,2\r\n"
+
+    def test_stray_tmp_sweep(self, tmp_path):
+        stray = tmp_path / "sub" / f".f.csv.123-0{TMP_SUFFIX}"
+        stray.parent.mkdir()
+        stray.write_text("torn")
+        keep = tmp_path / "sub" / "f.csv"
+        keep.write_text("good")
+        removed = remove_stray_tmp(tmp_path)
+        assert removed == [stray]
+        assert not stray.exists() and keep.exists()
+
+
+class TestJournalReplay:
+    def _journal(self, tmp_path, n_commits=2):
+        journal = RunJournal(tmp_path)
+        journal.run_start(
+            _run_record(), [_planned(("A",)), _planned(("B",))]
+        )
+        for index in range(n_commits):
+            name = "AB"[index]
+            journal.subgraph_dispatch((name,), "chase")
+            journal.commit_subgraph(_sub_record((name,)), {name: _cube(name)})
+        journal.close()
+        return journal
+
+    def test_clean_roundtrip(self, tmp_path):
+        journal = self._journal(tmp_path)
+        records, torn = replay_journal(journal.path)
+        assert torn == 0
+        assert [r["type"] for r in records] == [
+            "run-start",
+            "subgraph-dispatch",
+            "staged-commit",
+            "subgraph-dispatch",
+            "staged-commit",
+        ]
+        assert [r["seq"] for r in records] == list(range(5))
+
+    def test_torn_tail_dropped(self, tmp_path):
+        journal = self._journal(tmp_path)
+        with open(journal.path, "a") as handle:
+            handle.write('{"seq": 5, "type": "trunca')
+        records, torn = replay_journal(journal.path)
+        assert len(records) == 5 and torn == 1
+
+    def test_truncated_mid_record(self, tmp_path):
+        journal = self._journal(tmp_path)
+        blob = journal.path.read_bytes()
+        journal.path.write_bytes(blob[:-10])
+        records, torn = replay_journal(journal.path)
+        assert len(records) == 4 and torn == 1
+
+    def test_tampered_record_stops_replay(self, tmp_path):
+        journal = self._journal(tmp_path)
+        lines = journal.path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["payload"]["target"] = "forged"
+        lines[1] = json.dumps(record)
+        journal.path.write_text("\n".join(lines) + "\n")
+        records, torn = replay_journal(journal.path)
+        assert len(records) == 1  # everything after the forgery untrusted
+        assert torn == 4
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert replay_journal(tmp_path / "nope.wal") == ([], 0)
+
+    def test_discard_removes_file_and_dir(self, tmp_path):
+        journal = self._journal(tmp_path)
+        assert journal.path.exists()
+        journal.discard()
+        assert not journal.path.exists()
+        assert not journal.path.parent.exists()
+
+    def test_no_artifact_before_first_append(self, tmp_path):
+        RunJournal(tmp_path)
+        assert not (tmp_path / "journal").exists()
+
+
+class TestRecover:
+    def test_clean_directory(self, tmp_path):
+        report = recover(tmp_path)
+        assert report.status == "clean" and report.exit_code == 0
+
+    def test_valid_state_without_journal_is_resumable(self, tmp_path):
+        state = tmp_path / "run-state.json"
+        state.write_text(json.dumps({"record": {"subgraphs": []}}))
+        report = recover(tmp_path)
+        assert report.status == "resumable" and report.exit_code == 3
+        assert report.state_path == state
+
+    def test_torn_state_without_journal_quarantined(self, tmp_path):
+        state = tmp_path / "run-state.json"
+        state.write_text('{"record": {"subgra')  # torn mid-write
+        report = recover(tmp_path)
+        assert report.status == "corrupt-state" and report.exit_code == 1
+        assert not state.exists()
+        assert report.quarantined.read_text().startswith('{"record"')
+
+    def test_run_complete_finishes_cleanup(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        journal.run_start(_run_record(), [_planned(("A",))])
+        journal.commit_subgraph(_sub_record(("A",)), {"A": _cube()})
+        journal.run_complete()
+        journal.close()
+        # stale artifacts a crash-during-cleanup would leave behind
+        (tmp_path / "run-state.json").write_text("{}")
+        report = recover(tmp_path)
+        assert report.status == "complete" and report.exit_code == 0
+        assert not (tmp_path / "run-state.json").exists()
+        assert not (tmp_path / ".committed").exists()
+        assert not journal.path.exists()
+
+    def test_synthesizes_resumable_state(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        journal.run_start(
+            _run_record(affected=("A", "B")),
+            [_planned(("A",)), _planned(("B",))],
+        )
+        journal.subgraph_dispatch(("A",), "chase")
+        journal.commit_subgraph(_sub_record(("A",)), {"A": _cube("A")})
+        journal.subgraph_dispatch(("B",), "chase")
+        journal.close()  # killed before B committed
+
+        report = recover(tmp_path)
+        assert report.status == "resumable" and report.exit_code == 3
+        assert report.committed == ["A"] and report.unfinished == ["B"]
+        state = json.loads((tmp_path / "run-state.json").read_text())
+        outcomes = {
+            tuple(s["cubes"]): s["outcome"]
+            for s in state["record"]["subgraphs"]
+        }
+        assert outcomes == {("A",): "ok", ("B",): "failed"}
+        assert state["committed"] == {"A": ".committed/A.csv"}
+        assert (tmp_path / ".committed" / "A.csv").exists()
+        assert not journal.path.exists()  # superseded by the state file
+
+    def test_torn_commit_rolled_back(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        journal.run_start(_run_record(), [_planned(("A",))])
+        journal.commit_subgraph(_sub_record(("A",)), {"A": _cube("A")})
+        journal.close()
+        # simulate a torn snapshot: bytes no longer match the journal
+        snapshot = tmp_path / ".committed" / "A.csv"
+        snapshot.write_text("r,v\r\ntorn")
+        report = recover(tmp_path)
+        assert report.rolled_back == [".committed/A.csv"]
+        assert report.committed == [] and report.unfinished == ["A"]
+        assert not snapshot.exists()
+
+    def test_resume_crash_keeps_prior_commits(self, tmp_path):
+        # a crashed *resume* journals only its todo subgraphs; the
+        # merge must keep what the first partial run already committed
+        committed_dir = tmp_path / ".committed"
+        committed_dir.mkdir()
+        (committed_dir / "A.csv").write_text("r,v\r\nr0,1.0\r\n")
+        prior = {
+            "record": {
+                "run_id": 1,
+                "trigger": ["S"],
+                "affected": ["A", "B"],
+                "subgraphs": [
+                    _sub_record(("A",)).to_json(),
+                    _sub_record(("B",), outcome="failed").to_json(),
+                ],
+                "on_error": "continue",
+                "error": "boom",
+            },
+            "committed": {"A": ".committed/A.csv"},
+        }
+        (tmp_path / "run-state.json").write_text(json.dumps(prior))
+        journal = RunJournal(tmp_path)
+        journal.run_start(
+            _run_record(run_id=1, affected=("B",)), [_planned(("B",))]
+        )
+        journal.close()  # killed before B committed, again
+        report = recover(tmp_path)
+        assert report.status == "resumable"
+        state = json.loads((tmp_path / "run-state.json").read_text())
+        outcomes = {
+            tuple(s["cubes"]): s["outcome"]
+            for s in state["record"]["subgraphs"]
+        }
+        assert outcomes == {("A",): "ok", ("B",): "failed"}
+        assert state["committed"]["A"] == ".committed/A.csv"
+
+    def test_stray_tmp_swept(self, tmp_path):
+        (tmp_path / f".f.csv.9-0{TMP_SUFFIX}").write_text("torn")
+        report = recover(tmp_path)
+        assert len(report.tmp_removed) == 1
+
+
+@pytest.fixture
+def crash_project(tmp_path):
+    """Four chained subgraphs -> four seeded kill points per run."""
+    (tmp_path / "e1.csv").write_text(
+        "q,v\n"
+        + "".join(
+            f"20{20 + i // 4}Q{i % 4 + 1},{float(i + 1)}\n" for i in range(8)
+        )
+    )
+    (tmp_path / "project.json").write_text(
+        json.dumps(
+            {
+                "elementary": [
+                    {
+                        "name": "E1",
+                        "dimensions": [["q", "time:Q"]],
+                        "measure": "v",
+                        "csv": "e1.csv",
+                    }
+                ],
+                "program": (
+                    "A := E1 * 2\nB := A + 1\nC := cumsum(E1)\nD := B + C"
+                ),
+                "outputs": ["A", "B", "C", "D"],
+            }
+        )
+    )
+    return tmp_path / "project.json"
+
+
+def _run_subprocess(project, out_dir, seed):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    return subprocess.run(
+        [
+            sys.executable, "-m", "repro", "run", str(project),
+            "--out", str(out_dir), "--on-error", "continue",
+            "--inject-faults", "*:kill:p=0.45",
+            "--fault-seed", str(seed),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestKillMinusNineHarness:
+    """SIGKILL at seeded-random dispatch points; recover + resume must
+    reproduce the uninterrupted run's outputs exactly."""
+
+    SEEDS = range(20)
+
+    def test_recover_resume_converges(self, crash_project, tmp_path, capsys):
+        project_dir = crash_project.parent
+        reference = tmp_path / "reference"
+        assert cli_main(
+            ["run", str(crash_project), "--out", str(reference)]
+        ) == 0
+        expected = {
+            name: (reference / f"{name}.csv").read_bytes()
+            for name in "ABCD"
+        }
+        killed = 0
+        for seed in self.SEEDS:
+            out = tmp_path / f"crash-{seed}"
+            proc = _run_subprocess(crash_project, out, seed)
+            if proc.returncode != 0:
+                assert proc.returncode == -signal.SIGKILL, (
+                    f"seed {seed}: rc={proc.returncode}\n{proc.stderr}"
+                )
+                killed += 1
+                code = cli_main(
+                    ["recover", str(crash_project), "--out", str(out)]
+                )
+                assert code in (0, 3), f"seed {seed}: recover rc={code}"
+                if code == 3:
+                    assert cli_main(
+                        ["resume", str(crash_project), "--out", str(out)]
+                    ) == 0, f"seed {seed}: resume failed"
+            for name, blob in expected.items():
+                assert (out / f"{name}.csv").read_bytes() == blob, (
+                    f"seed {seed}: {name}.csv diverged after recovery"
+                )
+            # every crash artifact consumed: the out dir is clean
+            assert not (out / "run-state.json").exists(), f"seed {seed}"
+            assert not (out / ".committed").exists(), f"seed {seed}"
+            assert list((out / "journal").glob("*.wal")) == [], f"seed {seed}"
+        # the harness is vacuous unless the kill actually lands often
+        assert killed >= 5, f"only {killed}/20 seeds were killed"
+
+    def test_recover_nonexistent_out_dir(self, crash_project, capsys):
+        code = cli_main(
+            ["recover", str(crash_project), "--out", "/nonexistent-xyz"]
+        )
+        assert code == 2
+
+
+class TestCliJournalLifecycle:
+    def test_successful_run_leaves_no_journal(self, crash_project, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert cli_main(["run", str(crash_project), "--out", str(out)]) == 0
+        assert not (out / "journal").exists()
+        assert not (out / "run-state.json").exists()
+        assert not (out / ".committed").exists()
+
+    def test_no_journal_flag(self, crash_project, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert cli_main(
+            ["run", str(crash_project), "--out", str(out), "--no-journal"]
+        ) == 0
+        assert not (out / "journal").exists()
+
+    def test_partial_failure_discards_journal_keeps_state(
+        self, crash_project, tmp_path, capsys
+    ):
+        out = tmp_path / "out"
+        code = cli_main(
+            [
+                "run", str(crash_project), "--out", str(out),
+                "--on-error", "continue",
+                "--inject-faults", "*:permanent:cubes=C",
+            ]
+        )
+        assert code == 3
+        assert (out / "run-state.json").exists()
+        # the durable state file supersedes the journal
+        assert list((out / "journal").glob("*.wal")) == []
+        assert cli_main(
+            ["resume", str(crash_project), "--out", str(out)]
+        ) == 0
+        assert not (out / "run-state.json").exists()

@@ -298,3 +298,64 @@ class TestCliUpdate:
         )
         assert code == 2
         assert "is run" in capsys.readouterr().err
+
+
+class TestCorruptStateFiles:
+    """Torn, truncated, or empty state/baseline JSON — the debris a
+    hard crash leaves without atomic writes — must be reported with the
+    offending path and exit code 4, never a traceback."""
+
+    def _torn(self, path):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"record": {"subgra')
+
+    def test_resume_torn_state(self, project_dir, capsys):
+        out = project_dir / "results"
+        self._torn(out / "run-state.json")
+        code = main(
+            ["resume", str(project_dir / "project.json"), "--out", str(out)]
+        )
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "corrupt run state" in err
+        assert str(out / "run-state.json") in err
+        assert "exl recover" in err
+
+    def test_resume_empty_state(self, project_dir, capsys):
+        out = project_dir / "results"
+        (out).mkdir(parents=True)
+        (out / "run-state.json").write_text("")
+        code = main(
+            ["resume", str(project_dir / "project.json"), "--out", str(out)]
+        )
+        assert code == 4
+
+    def test_resume_state_not_a_document(self, project_dir, capsys):
+        out = project_dir / "results"
+        out.mkdir(parents=True)
+        (out / "run-state.json").write_text('["not", "a", "run"]')
+        code = main(
+            ["resume", str(project_dir / "project.json"), "--out", str(out)]
+        )
+        assert code == 4
+        assert "not a run-state document" in capsys.readouterr().err
+
+    def test_update_torn_baseline(self, project_dir, capsys):
+        out = project_dir / "results"
+        self._torn(out / "baseline" / "baseline.json")
+        code = main(
+            ["update", str(project_dir / "project.json"), "--out", str(out)]
+        )
+        assert code == 4
+        assert "corrupt baseline" in capsys.readouterr().err
+
+    def test_query_torn_baseline(self, project_dir, capsys):
+        out = project_dir / "results"
+        self._torn(out / "baseline" / "baseline.json")
+        code = main(
+            [
+                "query", str(project_dir / "project.json"), "B",
+                "--out", str(out),
+            ]
+        )
+        assert code == 4

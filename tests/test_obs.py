@@ -395,17 +395,38 @@ def _run_gate(tmp_path, document):
     )
 
 
+# covers every name in check_regression.REQUIRED, so the pass case
+# exercises the missing-entry check staying quiet
 PASSING_REPORT = {
     "columnar_chase": {
         "scalar_arith": {"speedup": 6.6, "floor": 5.0},
         "aggregation": {"speedup": 5.0, "floor": 3.0},
         "tracing_overhead": {"overhead_pct": 1.0},
     },
+    "columnar_native": {
+        "warm_encode_tax": {"speedup": 40.0, "floor": 10.0},
+    },
+    "crash_recovery": {
+        "journal_overhead": {"value": 1.0, "ceiling": 1.15},
+        "recovery_vs_rerun": {"value": 0.15, "ceiling": 0.3},
+    },
+    "delta_chase": {
+        "one_percent_update": {"speedup": 25.0, "floor": 5.0},
+        "noop_update": {"speedup": 80.0, "floor": 5.0},
+    },
     "parallel_chase": {
         "wave_overlap": {"speedup": 3.9, "floor": 2.5, "waves": 4},
     },
     "fault_recovery": {
         "transient_30pct_overhead": {"value": 1.4, "ceiling": 2.0},
+        "resume_vs_rerun": {"value": 0.15, "ceiling": 0.3},
+    },
+    "olap_query": {
+        "warm_rollup_vs_csv": {"speedup": 150.0, "floor": 100.0},
+        "dirty_group_refresh": {"value": 0.05, "ceiling": 0.25},
+    },
+    "sharded_chase": {
+        "panel_scaling": {"speedup": 2.6, "floor": 2.5},
     },
 }
 
@@ -454,6 +475,26 @@ class TestRegressionGate:
         completed = _run_gate(tmp_path, {"columnar_chase": {}})
         assert completed.returncode == 1
         assert "no gated entries" in completed.stderr
+
+    def test_fails_when_required_entry_is_missing(self, tmp_path):
+        doctored = json.loads(json.dumps(PASSING_REPORT))
+        del doctored["crash_recovery"]["recovery_vs_rerun"]
+        completed = _run_gate(tmp_path, doctored)
+        assert completed.returncode == 1
+        assert "MISSING" in completed.stdout
+        assert (
+            "crash_recovery.recovery_vs_rerun: required gated entry "
+            "is missing" in completed.stderr
+        )
+
+    def test_fails_when_gate_keys_are_dropped(self, tmp_path):
+        # an entry that lost its ceiling no longer counts as gated, so
+        # the manifest must flag it even though the name is present
+        doctored = json.loads(json.dumps(PASSING_REPORT))
+        del doctored["crash_recovery"]["journal_overhead"]["ceiling"]
+        completed = _run_gate(tmp_path, doctored)
+        assert completed.returncode == 1
+        assert "crash_recovery.journal_overhead" in completed.stderr
 
     def test_missing_report_is_an_error(self, tmp_path):
         completed = subprocess.run(

@@ -745,3 +745,28 @@ class TestQueryCli:
             rows = list(_csv.reader(handle))
         expected = sum(float(row[-1]) for row in rows[1:])
         assert total == pytest.approx(expected)
+
+
+class TestUnreadableLatticeSidecar:
+    def test_unreadable_counted_as_miss(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        cube = panel_cube()
+        hierarchies = hierarchies_for(fresh_catalog(), "S")
+        lattice = CubeLattice("S", hierarchies, aggregate="sum")
+        csv_path = tmp_path / "S.csv"
+        from repro.model.io import write_cube_csv
+
+        write_cube_csv(cube, csv_path)
+        sidecar = olap_sidecar_path_for(tmp_path, "S")
+        sidecar.mkdir(parents=True)  # reading a directory raises OSError
+        metrics = MetricsRegistry()
+        assert not attach_lattice_sidecar(
+            lattice, cube, csv_path, sidecar, metrics=metrics
+        )
+        assert (
+            metrics.value(
+                "olap.sidecar.fallback.reason:sidecar-unreadable"
+            )
+            == 1
+        )

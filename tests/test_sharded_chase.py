@@ -383,3 +383,87 @@ class TestObservabilityParity:
         assert tgd_spans, "expected absorbed worker tgd spans"
         epoch_ok = all(s.started >= tracer.epoch for s in tgd_spans)
         assert epoch_ok, "absorbed spans must land on the parent timeline"
+
+
+class TestShardSupervision:
+    """Process-level faults inside workers are absorbed by the pool
+    supervisor: dead workers get a rebuilt pool with only the
+    unfinished shards retried; wedged workers trip the per-shard
+    timeout; an exhausted retry budget quarantines the shards and
+    degrades to the thread scheduler — never a wrong answer."""
+
+    def _fixture(self, seed=5):
+        workload = gdp_example(
+            n_quarters=12, regions=("north", "south"), seed=seed
+        )
+        program = Program.compile(workload.source, workload.schema)
+        mapping = generate_mapping(program)
+        sequential = StratifiedChase(mapping).run(
+            instance_from_cubes(workload.data)
+        )
+        return mapping, instance_from_cubes(workload.data), sequential
+
+    def _sharded(self, mapping, plan, **kwargs):
+        metrics = MetricsRegistry()
+        chase = ShardedStratifiedChase(
+            mapping,
+            shards=2,
+            metrics=metrics,
+            fault_context=(plan, "chase", ("G",), 0),
+            **kwargs,
+        )
+        return chase, metrics
+
+    def test_killed_worker_is_retried(self):
+        mapping, source, sequential = self._fixture()
+        plan = FaultPlan(
+            [FaultRule(kind="kill", cubes=("shard:0",), first_n=1)]
+        )
+        chase, metrics = self._sharded(mapping, plan)
+        sharded = chase.run(source)
+        _assert_identical(sequential, sharded)
+        assert metrics.value("chase.shard.retries") >= 1
+        assert metrics.value("chase.shard.quarantined") == 0
+
+    def test_repeated_kills_quarantine_and_degrade(self):
+        mapping, source, sequential = self._fixture()
+        plan = FaultPlan([FaultRule(kind="kill", cubes=("shard:0",))])
+        chase, metrics = self._sharded(mapping, plan, shard_retries=1)
+        sharded = chase.run(source)
+        _assert_identical(sequential, sharded)  # thread fallback reran it
+        assert metrics.value("chase.shard.quarantined") >= 1
+        assert (
+            metrics.value(
+                "chase.shard.fallback.reason:shard-retries-exhausted"
+            )
+            == 1
+        )
+        assert sharded.stats.shards == 0  # degraded path produced it
+
+    def test_hung_worker_trips_timeout_then_retries(self):
+        mapping, source, sequential = self._fixture()
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    kind="hang",
+                    cubes=("shard:0",),
+                    first_n=1,
+                    delay_s=30.0,
+                )
+            ]
+        )
+        chase, metrics = self._sharded(mapping, plan, shard_timeout_s=1.5)
+        sharded = chase.run(source)
+        _assert_identical(sequential, sharded)
+        assert metrics.value("chase.shard.timeouts") >= 1
+        assert metrics.value("chase.shard.retries") >= 1
+
+    def test_error_kinds_still_surface_from_workers(self):
+        # transient/permanent faults are the *dispatcher's* to handle:
+        # the parent-side hook raises them before workers ever fork,
+        # and the supervisor must not swallow real backend errors
+        workload = gdp_example(n_quarters=8, seed=2)
+        engine = _build_engine(workload, shards=2)
+        plan = FaultPlan([FaultRule(kind="permanent")])
+        with pytest.raises(Exception, match="injected permanent"):
+            engine.run(fault_plan=plan)
