@@ -192,7 +192,16 @@ def _build_engine(
     metrics=None,
     backoff_s=None,
     journal=None,
+    adaptive: bool = False,
+    out_dir: Optional[Path] = None,
 ) -> EXLEngine:
+    # adaptive runs learn across processes: the cost history lives next
+    # to the run's other durable state, under <out>/costs/
+    cost_model = None
+    if adaptive:
+        from .engine import CostModel
+
+        cost_model = CostModel(out_dir / "costs" if out_dir else None)
     engine = EXLEngine(
         parallel=parallel,
         jobs=jobs,
@@ -203,6 +212,8 @@ def _build_engine(
         metrics=metrics,
         backoff_s=backoff_s,
         journal=journal,
+        adaptive=adaptive,
+        cost_model=cost_model,
     )
     for schema in project.schemas:
         engine.declare_elementary(schema)
@@ -478,6 +489,8 @@ def cmd_update(args) -> int:
         vectorize=not args.no_vectorize,
         backoff_s=args.backoff,
         journal=journal,
+        adaptive=args.adaptive,
+        out_dir=out_dir,
     )
     if not baseline_file.exists():
         print(
@@ -586,6 +599,8 @@ def cmd_run(args) -> int:
         metrics=metrics,
         backoff_s=args.backoff,
         journal=journal,
+        adaptive=args.adaptive,
+        out_dir=out_dir,
     )
     try:
         record = engine.run(
@@ -650,6 +665,8 @@ def cmd_resume(args) -> int:
         vectorize=not args.no_vectorize,
         backoff_s=args.backoff,
         journal=journal,
+        adaptive=args.adaptive,
+        out_dir=out_dir,
     )
     # re-admit the committed cubes of the interrupted run, then its
     # record; resume() re-dispatches only the failed/skipped subgraphs
@@ -928,6 +945,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             action="store_true",
             help="disable the columnar chase kernels and run the "
             "tuple-at-a-time chase (bit-exact ablation baseline)",
+        )
+        command.add_argument(
+            "--adaptive",
+            action="store_true",
+            help="cost-based adaptive dispatch: pick each subgraph's "
+            "target from learned per-signature execution timings "
+            "(EWMA over clean attempt times, persisted under "
+            "<out>/costs/); unmeasured targets fall back to the "
+            "static assignment and are explored deterministically",
         )
         command.add_argument(
             "--retries",

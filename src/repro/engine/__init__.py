@@ -7,6 +7,13 @@ dispatcher (per-target execution, waves, data movement), historicity
 :class:`EXLEngine` facade tying them together.
 """
 
+from .costmodel import (
+    ADAPTIVE_TARGETS,
+    CostDecision,
+    CostModel,
+    card_bucket,
+    subgraph_signature,
+)
 from .determination import (
     DEFAULT_TARGET_PRIORITY,
     DependencyGraph,
@@ -30,6 +37,11 @@ __all__ = [
     "Dispatcher",
     "ON_ERROR_MODES",
     "default_fallback_chains",
+    "CostModel",
+    "CostDecision",
+    "ADAPTIVE_TARGETS",
+    "card_bucket",
+    "subgraph_signature",
     "FaultPlan",
     "FaultRule",
     "FaultyBackend",

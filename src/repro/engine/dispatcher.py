@@ -50,6 +50,7 @@ from ..model.catalog import MetadataCatalog
 from ..model.cube import Cube
 from ..obs import NULL_TRACER, MetricsRegistry
 from . import faults as faults_mod
+from .costmodel import ADAPTIVE_TARGETS, CostModel, subgraph_signature
 from .determination import DependencyGraph
 from .faults import FaultPlan, _stable_unit
 from .history import RunRecord, SubgraphRecord
@@ -116,6 +117,8 @@ class Dispatcher:
         delta: bool = False,
         dirty: Optional[Sequence[str]] = None,
         journal=None,
+        cost_model: Optional[CostModel] = None,
+        adaptive: bool = False,
     ):
         self.catalog = catalog
         self.graph = graph
@@ -176,8 +179,18 @@ class Dispatcher:
         self.fault_plan = fault_plan
         #: ``(cubes, target) -> TranslatedSubgraph``, wired to
         #: ``TranslationEngine.for_target`` by the engine; without it
-        #: degradation is unavailable
+        #: degradation (and adaptive re-targeting) is unavailable
         self.retranslate = retranslate
+        #: learned per-(target, signature) execution costs.  When set,
+        #: every successful subgraph feeds its clean attempt time back —
+        #: static runs train the model too; only ``adaptive`` lets it
+        #: *choose* the target (which needs ``retranslate``)
+        self.cost_model = cost_model
+        self.adaptive = bool(adaptive)
+        if self.adaptive and self.cost_model is None:
+            raise EngineError("adaptive dispatch requires a cost model")
+        if self.adaptive and self.retranslate is None:
+            raise EngineError("adaptive dispatch requires a retranslate hook")
         # -- shared mutable state; every access goes through the lock.
         # _computed_this_run feeds the as_of vintage logic; _unavailable
         # holds cubes whose producing subgraph failed or was skipped, so
@@ -359,6 +372,31 @@ class Dispatcher:
                     )
                 return clean_record
 
+        static_target = item.subgraph.target
+        signature: Optional[str] = None
+        chosen_target: Optional[str] = None
+        predicted_s: Optional[float] = None
+        if self.cost_model is not None:
+            signature = self._signature_of(item)
+        if self.adaptive and signature is not None:
+            decision = self.cost_model.choose(
+                signature,
+                self._candidate_targets(item),
+                static_target,
+                metrics=self.metrics,
+            )
+            chosen_target = decision.target
+            predicted_s = decision.predicted_s
+            if decision.target != static_target:
+                try:
+                    item = self.retranslate(cubes, decision.target)
+                except Exception:
+                    # an untranslatable choice falls back to the static
+                    # plan; the model never learns the bogus candidate
+                    self.metrics.inc("dispatch.cost.retranslate_failed")
+                    chosen_target = static_target
+                    predicted_s = None
+
         if self.journal is not None:
             self.journal.subgraph_dispatch(cubes, item.subgraph.target)
         start = time.perf_counter()
@@ -367,8 +405,9 @@ class Dispatcher:
         outputs = None
         outcome = "failed"
         executed_target = item.subgraph.target
+        attempt_s = 0.0
         try:
-            outputs, native_attempts, recovered_error = (
+            outputs, native_attempts, recovered_error, attempt_s = (
                 self._attempt_with_retries(item, wave_span)
             )
             attempts += native_attempts
@@ -378,8 +417,8 @@ class Dispatcher:
             primary = exc
             recovered_error = f"{type(exc).__name__}: {exc}"
             if self._degradation_enabled(item):
-                outputs, fb_attempts, executed_target = self._degrade(
-                    item, wave_span
+                outputs, fb_attempts, executed_target, attempt_s = (
+                    self._degrade(item, wave_span)
                 )
                 attempts += fb_attempts
                 if outputs is not None:
@@ -392,16 +431,25 @@ class Dispatcher:
                 self.metrics.inc("dispatch.failed")
                 return SubgraphRecord(
                     cubes,
-                    item.subgraph.target,
+                    static_target,
                     time.perf_counter() - start,
                     0,
                     {},
                     outcome="failed",
                     attempts=attempts,
                     error=recovered_error,
+                    executed_target=executed_target,
+                    chosen_target=chosen_target,
+                    predicted_s=predicted_s,
                 )
 
-        duration = time.perf_counter() - start
+        wall_s = time.perf_counter() - start
+        if self.cost_model is not None and signature is not None:
+            # clean successful-attempt time only — never backoff sleep,
+            # never failed attempts — credited to the target that
+            # actually ran (a degraded subgraph teaches the fallback's
+            # cost, not the broken native target's)
+            self.cost_model.record(executed_target, signature, attempt_s)
         changed_map: Optional[Dict[str, bool]] = None
         if isinstance(outputs, DeltaRunResult):
             self._note_delta(outputs.stats)
@@ -461,17 +509,24 @@ class Dispatcher:
                     if self.delta:
                         self._dirty.add(name)
                 self._computed_this_run.add(name)
-        self.metrics.observe("dispatch.subgraph.duration_s", duration)
+        # duration_s is the clean successful-attempt execution time (the
+        # number any cost reasoning must use); the inclusive span — with
+        # retries and backoff sleep — is tracked separately as wall_s
+        self.metrics.observe("dispatch.subgraph.duration_s", attempt_s)
+        self.metrics.observe("dispatch.subgraph.wall_s", wall_s)
         sub_record = SubgraphRecord(
             cubes,
-            item.subgraph.target,
-            duration,
+            static_target,
+            wall_s,
             tuples,
             versions,
             outcome=outcome,
             attempts=attempts,
             error=recovered_error,
             executed_target=executed_target,
+            observed_s=attempt_s,
+            chosen_target=chosen_target,
+            predicted_s=predicted_s,
         )
         if self.journal is not None:
             # snapshot-then-log: the cubes hit disk atomically before
@@ -506,18 +561,42 @@ class Dispatcher:
             changed[name] = not previous.delta(outputs[name]).is_empty
         return changed
 
+    # -- adaptive target choice ----------------------------------------------
+    def _signature_of(self, item: TranslatedSubgraph) -> str:
+        """Workload signature: tgd kinds × log2-bucketed input sizes."""
+        cards = [
+            len(self.catalog.data(name))
+            if self.catalog.has_data(name)
+            else 0
+            for name in item.inputs
+        ]
+        return subgraph_signature(item.mapping, cards, delta=self.delta)
+
+    def _candidate_targets(self, item: TranslatedSubgraph) -> List[str]:
+        """Targets every cube of the subgraph supports, in the stable
+        ``ADAPTIVE_TARGETS`` order (determinism of exploration)."""
+        supported: Optional[Set[str]] = None
+        for cube in item.subgraph.cubes:
+            targets = self.graph.supported_targets(cube)
+            supported = targets if supported is None else supported & targets
+        return [t for t in ADAPTIVE_TARGETS if supported and t in supported]
+
     # -- retry / degradation machinery ---------------------------------------
     def _attempt_with_retries(
         self, item: TranslatedSubgraph, wave_span=None
-    ) -> Tuple[Dict[str, Cube], int, Optional[str]]:
+    ) -> Tuple[Dict[str, Cube], int, Optional[str], float]:
         """Run one translated subgraph, retrying transient failures.
 
-        Returns ``(outputs, attempts, recovered_error)`` where the last
-        element is the message of the most recent retried transient
-        failure (None when the first attempt succeeded).  Raises the
-        last error once retries are exhausted, the error is permanent,
-        or the deadline passed; the raised exception carries the attempt
-        count for the caller's bookkeeping.
+        Returns ``(outputs, attempts, recovered_error, attempt_s)``:
+        ``recovered_error`` is the message of the most recent retried
+        transient failure (None when the first attempt succeeded) and
+        ``attempt_s`` times *only* the successful attempt's execution —
+        failed attempts and backoff sleep are excluded, so the cost
+        model and per-subgraph metrics see what the backend actually
+        costs, not what this run's bad luck cost.  Raises the last error
+        once retries are exhausted, the error is permanent, or the
+        deadline passed; the raised exception carries the attempt count
+        for the caller's bookkeeping.
         """
         cubes = item.subgraph.cubes
         target = item.subgraph.target
@@ -537,8 +616,10 @@ class Dispatcher:
                         f"{self.deadline_s:g}s deadline after "
                         f"{attempt - 1} attempt(s)"
                     )
+                attempt_started = time.perf_counter()
                 outputs = self._run_attempt(item, attempt - 1, deadline, wave_span)
-                return outputs, attempt, recovered
+                attempt_s = time.perf_counter() - attempt_started
+                return outputs, attempt, recovered, attempt_s
             except TransientBackendError as exc:
                 out_of_budget = attempt > self.retries or (
                     deadline is not None and time.monotonic() >= deadline
@@ -547,8 +628,22 @@ class Dispatcher:
                     exc._dispatch_attempts = attempt
                     raise
                 recovered = f"{type(exc).__name__}: {exc}"
+                delay = self._backoff_delay(cubes, attempt, deadline)
+                if delay is None:
+                    # the backoff would consume the remaining budget (or
+                    # the deadline already passed and the clamp would
+                    # yield a 0 s hot-loop retry): abort now rather than
+                    # sleep into a guaranteed-dead attempt
+                    abort = DeadlineExceededError(
+                        f"subgraph {target}:{'+'.join(cubes)} aborted "
+                        f"before backoff: remaining {self.deadline_s:g}s "
+                        f"deadline budget cannot cover the attempt "
+                        f"{attempt} backoff"
+                    )
+                    abort._dispatch_attempts = attempt
+                    raise abort from exc
                 self.metrics.inc("dispatch.retries")
-                time.sleep(self._backoff_delay(cubes, attempt, deadline))
+                time.sleep(delay)
             except Exception as exc:
                 exc._dispatch_attempts = attempt
                 raise
@@ -558,18 +653,25 @@ class Dispatcher:
         cubes: Tuple[str, ...],
         attempt: int,
         deadline: Optional[float],
-    ) -> float:
+    ) -> Optional[float]:
         """Exponential backoff with deterministic jitter.
 
         The jitter fraction comes from a stable hash of the subgraph
         and attempt — not a shared RNG — so parallel and sequential
-        dispatch sleep identically and stay reproducible.
+        dispatch sleep identically and stay reproducible.  Returns None
+        (counted as ``dispatch.deadline.aborted_backoffs``) when the
+        remaining deadline budget cannot cover the delay — sleeping
+        would only set up an attempt that dies on arrival, and a
+        deadline that already passed would clamp to a 0 s sleep and
+        hot-loop through the remaining retries.  A zero delay with
+        budget to spare (``backoff_s=0``) stays a legal immediate retry.
         """
         delay = self.backoff_s * (self.backoff_factor ** (attempt - 1))
         jitter = _stable_unit(0, "backoff", "+".join(cubes), attempt)
         delay *= 0.5 + jitter  # in [0.5x, 1.5x)
-        if deadline is not None:
-            delay = min(delay, max(0.0, deadline - time.monotonic()))
+        if deadline is not None and deadline - time.monotonic() <= delay:
+            self.metrics.inc("dispatch.deadline.aborted_backoffs")
+            return None
         return delay
 
     @staticmethod
@@ -635,11 +737,11 @@ class Dispatcher:
 
     def _degrade(
         self, item: TranslatedSubgraph, wave_span=None
-    ) -> Tuple[Optional[Dict[str, Cube]], int, str]:
+    ) -> Tuple[Optional[Dict[str, Cube]], int, str, float]:
         """Re-translate and re-run on each fallback target in turn.
 
-        Returns ``(outputs, attempts, executed_target)``; ``outputs``
-        is None when the whole chain failed.
+        Returns ``(outputs, attempts, executed_target, attempt_s)``;
+        ``outputs`` is None when the whole chain failed.
         """
         native = item.subgraph.target
         attempts = 0
@@ -650,13 +752,13 @@ class Dispatcher:
                 translated = self.retranslate(
                     item.subgraph.cubes, fallback_target
                 )
-                outputs, fb_attempts, _ = self._attempt_with_retries(
-                    translated, wave_span
+                outputs, fb_attempts, _, attempt_s = (
+                    self._attempt_with_retries(translated, wave_span)
                 )
-                return outputs, attempts + fb_attempts, fallback_target
+                return outputs, attempts + fb_attempts, fallback_target, attempt_s
             except Exception as exc:
                 attempts += self._attempts_of(exc)
-        return None, attempts, native
+        return None, attempts, native, 0.0
 
     def _gather_inputs(self, item: TranslatedSubgraph) -> Dict[str, Cube]:
         inputs: Dict[str, Cube] = {}

@@ -27,6 +27,7 @@ from ..exl.operators import OperatorRegistry, default_registry
 from ..model.catalog import MetadataCatalog
 from ..model.cube import Cube, CubeSchema
 from ..obs import NULL_TRACER, MetricsRegistry
+from .costmodel import CostModel
 from .determination import DEFAULT_TARGET_PRIORITY, DependencyGraph, Subgraph
 from .dispatcher import ON_ERROR_MODES, Dispatcher
 from .faults import FaultPlan
@@ -59,6 +60,8 @@ class EXLEngine:
         fallback: Optional[Dict[str, Sequence[str]]] = None,
         fault_plan: Optional[FaultPlan] = None,
         journal=None,
+        adaptive: bool = False,
+        cost_model: Optional[CostModel] = None,
     ):
         self.registry = registry or default_registry()
         self.backends = backends or all_backends()
@@ -93,6 +96,22 @@ class EXLEngine:
         self.tracer = NULL_TRACER if tracer is None else tracer
         #: accumulating counters/histograms across this engine's runs
         self.metrics = MetricsRegistry() if metrics is None else metrics
+        #: cost-model-driven per-subgraph target choice.  ``adaptive``
+        #: is the engine default, overridable per run()/update(); the
+        #: model itself always learns from every dispatch once present
+        #: (an in-memory one is created when adaptive is requested
+        #: without an explicit model).  A model built with a ``path``
+        #: loads its persisted history here — a damaged file is a
+        #: counted cold start, never an error — and is re-saved after
+        #: every dispatch.
+        self.adaptive = bool(adaptive)
+        if cost_model is None and self.adaptive:
+            cost_model = CostModel()
+        if cost_model is not None:
+            if cost_model.metrics is None:
+                cost_model.metrics = self.metrics
+            cost_model.load()
+        self.cost_model = cost_model
         #: cube-level chase materialization cache, shared across runs so
         #: incremental updates skip unchanged strata (None = disabled)
         self.chase_cache: Optional[ChaseCache] = (
@@ -233,6 +252,7 @@ class EXLEngine:
         deadline_s: Optional[float] = None,
         on_error: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
+        adaptive: Optional[bool] = None,
     ) -> RunRecord:
         """One determination → translation → dispatch cycle.
 
@@ -251,6 +271,10 @@ class EXLEngine:
                 finishes even when subgraphs fail; the returned record
                 then carries a partial-failure ``error`` and per-
                 subgraph outcomes, and :meth:`resume` can finish it.
+            adaptive: per-run override of cost-model-driven target
+                choice (None = engine default).  Each subgraph record
+                carries the decision (``chosen_target``,
+                ``predicted_s``, ``observed_s``).
         """
         if changed is None:
             changed = self._loaded_since_last_run or [
@@ -289,6 +313,7 @@ class EXLEngine:
                 deadline_s=self.deadline_s if deadline_s is None else deadline_s,
                 on_error=self.on_error if on_error is None else on_error,
                 fault_plan=self.fault_plan if fault_plan is None else fault_plan,
+                adaptive=self.adaptive if adaptive is None else adaptive,
             )
         self._loaded_since_last_run = []
         return record
@@ -301,6 +326,7 @@ class EXLEngine:
         deadline_s: Optional[float] = None,
         on_error: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
+        adaptive: Optional[bool] = None,
     ) -> RunRecord:
         """Incremental run: recompute only what changed since a baseline.
 
@@ -344,6 +370,7 @@ class EXLEngine:
                 return self.run(
                     changed=changed, retries=retries, deadline_s=deadline_s,
                     on_error=on_error, fault_plan=fault_plan,
+                    adaptive=adaptive,
                 )
         if changed is not None:
             dirty = list(dict.fromkeys(changed))
@@ -400,6 +427,7 @@ class EXLEngine:
                 fault_plan=self.fault_plan if fault_plan is None else fault_plan,
                 delta=True,
                 dirty=dirty,
+                adaptive=self.adaptive if adaptive is None else adaptive,
             )
         self._loaded_since_last_run = []
         return record
@@ -472,8 +500,15 @@ class EXLEngine:
         fault_plan: Optional[FaultPlan] = None,
         delta: bool = False,
         dirty: Optional[Iterable[str]] = None,
+        adaptive: bool = False,
     ) -> RunRecord:
         """Dispatch + record bookkeeping shared by run/resume/update."""
+        cost_model = self.cost_model
+        if adaptive and cost_model is None:
+            # adaptive requested per-run on an engine built without a
+            # model: learn in-memory for the life of this engine
+            cost_model = self.cost_model = CostModel(metrics=self.metrics)
+        record.adaptive = bool(adaptive)
         chase_backend = self.backends.get("chase")
         count_kernels = isinstance(chase_backend, ChaseBackend)
         if count_kernels:
@@ -505,6 +540,8 @@ class EXLEngine:
             delta=delta,
             dirty=dirty,
             journal=self.journal,
+            cost_model=cost_model,
+            adaptive=adaptive,
         )
         if self.journal is not None:
             # write-ahead: the full plan is durable before any subgraph
@@ -521,6 +558,9 @@ class EXLEngine:
             self.metrics.inc("engine.runs.failed")
             self._record_baselines(record)
             self.runs.close(record)
+            if cost_model is not None:
+                # whatever this run managed to measure is still signal
+                cost_model.save()
             if self.journal is not None:
                 self.journal.run_end(record.run_id, record.error)
             raise
@@ -558,6 +598,8 @@ class EXLEngine:
             self.metrics.inc("engine.runs.partial")
         self._record_baselines(record)
         self.runs.close(record)
+        if cost_model is not None:
+            cost_model.save()
         if self.olap is not None:
             with self.tracer.span("olap-refresh", category="engine"):
                 self.olap.on_commit(record, dispatcher.committed_versions)

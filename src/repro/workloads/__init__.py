@@ -15,6 +15,12 @@ from .programs import (
     price_index_example,
 )
 from .randprog import RandomProgramGenerator, random_workload
+from .scenarios import (
+    deep_chain_workload,
+    revision_storm,
+    scenario_corpus,
+    skewed_panel_workload,
+)
 
 __all__ = [
     "seasonal_series",
@@ -29,4 +35,8 @@ __all__ = [
     "employment_example",
     "RandomProgramGenerator",
     "random_workload",
+    "skewed_panel_workload",
+    "deep_chain_workload",
+    "revision_storm",
+    "scenario_corpus",
 ]
